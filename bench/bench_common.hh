@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared plumbing for the experiment harnesses: every bench accepts
+ * --scale=ci|paper (ci by default so running every bench binary in a
+ * loop stays fast; paper regenerates the full 717-frame corpus) and
+ * prints the rows/series of the paper table or figure it reproduces.
+ */
+
+#ifndef GWS_BENCH_BENCH_COMMON_HH
+#define GWS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "synth/suite.hh"
+#include "util/args.hh"
+
+namespace gws {
+
+/** Suite + corpus regenerated for one bench run. */
+struct BenchContext
+{
+    /** The selected scale. */
+    SuiteScale scale = SuiteScale::Ci;
+
+    /** Playthrough traces of the six built-in games. */
+    std::vector<Trace> suite;
+
+    /** The sampled characterization corpus. */
+    std::vector<CorpusFrame> corpus;
+};
+
+/** Register the standard --scale option. */
+inline void
+addScaleOption(ArgParser &args)
+{
+    args.addString("scale", "ci",
+                   "suite scale: ci (fast) or paper (717-frame corpus)");
+}
+
+/** Build the context for the parsed options. */
+inline BenchContext
+makeBenchContext(const ArgParser &args)
+{
+    BenchContext ctx;
+    ctx.scale = parseSuiteScale(args.getString("scale"));
+    ctx.suite = generateSuite(ctx.scale);
+    ctx.corpus = sampleCorpus(ctx.suite, defaultCorpusFrames(ctx.scale));
+    return ctx;
+}
+
+/** Print the bench banner. */
+inline void
+banner(const std::string &id, const std::string &what, SuiteScale scale)
+{
+    std::printf("=== %s — %s (scale: %s) ===\n", id.c_str(), what.c_str(),
+                toString(scale));
+}
+
+} // namespace gws
+
+#endif // GWS_BENCH_BENCH_COMMON_HH

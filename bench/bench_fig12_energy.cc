@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12 — DVFS energy study (extension beyond the paper). At each
+ * core-clock point the power model prices total energy and the
+ * energy-delay product for the fully-simulated parent and for the
+ * < 1 % subset. The subset must reproduce the EDP-optimal frequency —
+ * the decision a DVFS pathfinding study actually makes.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/energy_study.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_fig12_energy",
+                   "DVFS energy / EDP study on subsets (extension)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("F12", "DVFS energy study (extension)", ctx.scale);
+
+    const DvfsConfig dcfg;
+    Table table({"game", "parent EDP-opt", "subset EDP-opt", "agree",
+                 "energy corr %", "EDP corr %", "avg W @1.0x",
+                 "J/frame @1.0x"});
+    bool all_agree = true;
+    for (const auto &t : ctx.suite) {
+        const WorkloadSubset subset =
+            buildWorkloadSubset(t, SubsetConfig{});
+        const DvfsResult r =
+            runDvfsStudy(t, subset, makeGpuPreset("baseline"), dcfg);
+        const std::size_t base_idx = 2; // scale 1.0
+        table.newRow();
+        table.cell(t.name());
+        table.cell(formatDouble(
+                       r.points[r.parentOptimal].scale, 1) + "x");
+        table.cell(formatDouble(
+                       r.points[r.subsetOptimal].scale, 1) + "x");
+        table.cell(std::string(
+            r.optimumAgrees()
+                ? "exact"
+                : r.optimumWithinOneStep() ? "within 1 step" : "NO"));
+        table.cell(r.energyCorrelation * 100.0, 3);
+        table.cell(r.edpCorrelation * 100.0, 3);
+        table.cell(r.points[base_idx].parent.averageWatts(), 1);
+        table.cell(r.points[base_idx].parent.totalJ() /
+                       static_cast<double>(t.frameCount()),
+                   4);
+        all_agree = all_agree && r.optimumWithinOneStep();
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+    std::printf("\nEDP-optimal frequency within one step on all games: %s\n",
+                all_agree ? "yes" : "NO");
+    std::printf("power model: C_eff=%.0f nF, V(1GHz)=%.2f V + %.2f V/GHz,"
+                " leakage %.1f W/V, DRAM %.0f pJ/B, board %.1f W\n",
+                dcfg.power.switchedCapacitanceNf, dcfg.power.voltageAt1Ghz,
+                dcfg.power.voltageSlopePerGhz, dcfg.power.leakagePerVolt,
+                dcfg.power.dramPicojoulesPerByte, dcfg.power.boardWatts);
+    return all_agree ? 0 : 1;
+}

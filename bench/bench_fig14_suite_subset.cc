@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 14 — suite-level subsetting (extension). The paper's opening
+ * motivation is an explosion in the *number* of workloads; this study
+ * clusters whole frames across all six games and keeps one
+ * representative frame per cluster, reporting the compression, the
+ * cross-game redundancy it finds, and the accuracy of corpus-level
+ * cost prediction on every design point.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/suite_subset.hh"
+#include "util/table.hh"
+
+#include <cmath>
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_fig14_suite_subset",
+                   "cross-workload frame subsetting (extension)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("F14", "suite-level subsetting (extension)", ctx.scale);
+
+    Table sweep({"radius", "rep frames", "fraction %",
+                 "cross-game clusters", "corpus err % (baseline)"});
+    const GpuSimulator base_sim(makeGpuPreset("baseline"));
+    const double actual_base =
+        measureCorpusNs(ctx.suite, ctx.corpus, base_sim);
+
+    SuiteSubset chosen;
+    for (double radius : {0.5, 1.0, 1.5, 2.0}) {
+        SuiteSubsetConfig cfg;
+        cfg.radius = radius;
+        const SuiteSubset s = buildSuiteSubset(ctx.suite, ctx.corpus,
+                                               cfg);
+        const double predicted =
+            predictCorpusNs(ctx.suite, s, base_sim);
+        sweep.newRow();
+        sweep.cell(radius, 2);
+        sweep.cell(s.frames.size());
+        sweep.cellPercent(s.frameFraction(), 1);
+        sweep.cell(s.crossGameClusters);
+        sweep.cellPercent(
+            std::fabs(predicted - actual_base) / actual_base, 2);
+        if (radius == 1.0)
+            chosen = s;
+    }
+    std::fputs(sweep.renderAscii().c_str(), stdout);
+
+    // Per-design-point accuracy at the chosen radius.
+    std::printf("\ncorpus-cost prediction across design points "
+                "(radius = 1.0, %zu of %zu frames):\n",
+                chosen.frames.size(), chosen.corpusFrames);
+    Table designs({"design", "actual (ms)", "predicted (ms)", "err %"});
+    for (const auto &name : gpuPresetNames()) {
+        const GpuSimulator sim(makeGpuPreset(name));
+        const double actual = measureCorpusNs(ctx.suite, ctx.corpus, sim);
+        const double predicted =
+            predictCorpusNs(ctx.suite, chosen, sim);
+        designs.newRow();
+        designs.cell(name);
+        designs.cell(actual * 1e-6, 2);
+        designs.cell(predicted * 1e-6, 2);
+        designs.cellPercent(std::fabs(predicted - actual) / actual, 2);
+    }
+    std::fputs(designs.renderAscii().c_str(), stdout);
+    std::printf("\ncross-game clusters show the corpus redundancy the "
+                "paper's motivation implies: different games render "
+                "frames that one representative can stand for.\n");
+    return 0;
+}

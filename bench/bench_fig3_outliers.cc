@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 3 — cluster outliers. Reproduces the paper's clustering-
+ * quality result: clusters with intra-cluster prediction error above
+ * 20 % are "outliers"; on average only 3.0 % of clusters are outliers.
+ * Also prints the intra-cluster error distribution per game.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/predictor.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_fig3_outliers",
+                   "cluster outliers > 20% intra error (Fig. 3)");
+    addScaleOption(args);
+    args.addDouble("radius", 0.95, "leader clustering radius");
+    args.addDouble("threshold", defaultOutlierThreshold,
+                   "outlier threshold on intra-cluster error");
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("F3", "cluster outliers", ctx.scale);
+
+    DrawSubsetConfig cfg;
+    cfg.leader.radius = args.getDouble("radius");
+    const double threshold = args.getDouble("threshold");
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    Table table({"game", "clusters", "outliers", "outlier %",
+                 "intra err p50 %", "intra err p95 %"});
+    std::uint64_t total_clusters = 0, total_outliers = 0;
+    for (std::size_t g = 0; g < ctx.suite.size(); ++g) {
+        const Trace &t = ctx.suite[g];
+        std::uint64_t clusters = 0, outliers = 0;
+        std::vector<double> intra;
+        for (const auto &cf : ctx.corpus) {
+            if (cf.traceIndex != g)
+                continue;
+            const FrameSubset subset =
+                buildFrameSubset(t, t.frame(cf.frameIndex), cfg);
+            std::vector<double> costs;
+            for (const auto &d : t.frame(cf.frameIndex).draws())
+                costs.push_back(sim.simulateDraw(t, d).totalNs);
+            const ClusterQuality q = assessClusterQuality(
+                subset.clustering, costs, cfg.prediction,
+                subset.workUnits, threshold);
+            clusters += subset.clustering.k;
+            outliers += q.outliers;
+            intra.insert(intra.end(), q.intraError.begin(),
+                         q.intraError.end());
+        }
+        table.newRow();
+        table.cell(t.name());
+        table.cell(clusters);
+        table.cell(outliers);
+        table.cellPercent(clusters ? static_cast<double>(outliers) /
+                                         static_cast<double>(clusters)
+                                   : 0.0,
+                          2);
+        table.cellPercent(percentile(intra, 50.0), 1);
+        table.cellPercent(percentile(intra, 95.0), 1);
+        total_clusters += clusters;
+        total_outliers += outliers;
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    std::printf("\nmeasured: %.2f%% outlier clusters"
+                "   [paper: 3.0%% on average]\n",
+                total_clusters ? 100.0 *
+                                     static_cast<double>(total_outliers) /
+                                     static_cast<double>(total_clusters)
+                               : 0.0);
+    return 0;
+}

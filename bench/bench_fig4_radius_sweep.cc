@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Figure 4 — the error/efficiency trade-off as the clustering radius
+ * sweeps. This reconstructs the methodology's operating-point choice:
+ * the paper reports one point (1.0 % error @ 65.8 % efficiency); the
+ * sweep shows the curve that point lives on, plus the same trade-off
+ * under work-scaled prediction (ablation) and the BIC-driven k-means
+ * alternative.
+ *
+ * Ground-truth per-draw costs and features are computed once per
+ * corpus frame and shared across all sweep points, so the sweep costs
+ * one simulation pass regardless of how many configurations it tries.
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.hh"
+#include "cluster/leader.hh"
+#include "core/draw_subset.hh"
+#include "core/predictor.hh"
+#include "features/extractor.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace gws;
+
+struct SweepPoint
+{
+    double radius;
+    PredictionMode mode;
+    double errSum = 0.0;
+    double errMax = 0.0;
+    double effSum = 0.0;
+    std::uint64_t clusters = 0;
+    std::uint64_t outliers = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("bench_fig4_radius_sweep",
+                   "error/efficiency vs clustering radius (Fig. 4)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("F4", "radius sweep & prediction-mode ablation", ctx.scale);
+
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    std::vector<SweepPoint> points;
+    for (double radius : {0.4, 0.6, 0.8, 0.95, 1.1, 1.4, 1.8}) {
+        points.push_back({radius, PredictionMode::Uniform});
+        points.push_back({radius, PredictionMode::WorkScaled});
+    }
+
+    std::size_t frames = 0;
+    for (const auto &cf : ctx.corpus) {
+        const Trace &t = ctx.suite[cf.traceIndex];
+        const Frame &frame = t.frame(cf.frameIndex);
+        ++frames;
+
+        // One simulation + feature pass, shared by every sweep point.
+        std::vector<double> costs, work_units;
+        double actual = sim.config().frameOverheadUs * 1e3;
+        for (const auto &d : frame.draws()) {
+            costs.push_back(sim.simulateDraw(t, d).totalNs);
+            work_units.push_back(drawWorkUnits(t, d));
+            actual += costs.back();
+        }
+        const FeatureExtractor ex(t);
+        const auto raw = ex.extractFrame(frame);
+        const auto normed = Normalizer::fit(raw).applyAll(raw);
+
+        for (auto &pt : points) {
+            LeaderConfig lc;
+            lc.radius = pt.radius;
+            const Clustering c = leaderCluster(normed, lc);
+            std::vector<double> rep_costs(c.k);
+            for (std::size_t cl = 0; cl < c.k; ++cl)
+                rep_costs[cl] = costs[c.representatives[cl]];
+            const auto predicted =
+                predictItemCosts(c, rep_costs, pt.mode, work_units);
+            double total = sim.config().frameOverheadUs * 1e3;
+            for (double ns : predicted)
+                total += ns;
+            const double err = std::fabs(total - actual) / actual;
+            pt.errSum += err;
+            pt.errMax = std::max(pt.errMax, err);
+            pt.effSum += c.efficiency();
+            const ClusterQuality q = assessClusterQuality(
+                c, costs, pt.mode, work_units);
+            pt.clusters += c.k;
+            pt.outliers += q.outliers;
+        }
+    }
+
+    Table table({"radius", "mode", "mean err %", "max err %",
+                 "efficiency %", "outlier %"});
+    for (const auto &pt : points) {
+        table.newRow();
+        table.cell(pt.radius, 2);
+        table.cell(std::string(toString(pt.mode)));
+        table.cellPercent(pt.errSum / static_cast<double>(frames), 2);
+        table.cellPercent(pt.errMax, 2);
+        table.cellPercent(pt.effSum / static_cast<double>(frames), 1);
+        table.cellPercent(pt.clusters
+                              ? static_cast<double>(pt.outliers) /
+                                    static_cast<double>(pt.clusters)
+                              : 0.0,
+                          2);
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    // BIC-selected k-means reference point (slower; evaluated on a
+    // handful of corpus frames, with the k sweep sized to the frame).
+    CorpusPredictionReport agg;
+    const std::size_t sampled = std::min<std::size_t>(
+        ctx.corpus.size(), ctx.scale == SuiteScale::Paper ? 6 : 12);
+    for (std::size_t i = 0; i < sampled; ++i) {
+        const auto &cf = ctx.corpus[i * ctx.corpus.size() / sampled];
+        const Trace &t = ctx.suite[cf.traceIndex];
+        const std::size_t draws = t.frame(cf.frameIndex).drawCount();
+        DrawSubsetConfig bic;
+        bic.algo = ClusterAlgo::KMeansBic;
+        bic.kselect.maxK = std::max<std::size_t>(12, draws / 2);
+        bic.kselect.step =
+            std::max<std::size_t>(1, bic.kselect.maxK / 12);
+        bic.kselect.base.restarts = 1;
+        bic.kselect.base.maxIterations = 15;
+        accumulate(agg, evaluateFramePrediction(
+                            t, t.frame(cf.frameIndex), sim, bic));
+    }
+    std::printf("\nkmeans+BIC reference (%zu frames): %.2f%% error @ "
+                "%.1f%% efficiency\n",
+                sampled, agg.meanError * 100.0,
+                agg.meanEfficiency * 100.0);
+    std::printf("paper operating point: 1.0%% error @ 65.8%% "
+                "efficiency\n");
+    return 0;
+}

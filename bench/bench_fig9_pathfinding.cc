@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 9 — the pathfinding use case from the paper's title: five
+ * candidate GPU architectures ranked on the full workload versus the
+ * subset. Reports per-game ranking preservation and speedup
+ * correlation, and the aggregate across the suite.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/pathfinding.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_fig9_pathfinding",
+                   "architecture ranking on subsets (Fig. 9)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("F9", "pathfinding: design-point ranking", ctx.scale);
+
+    std::vector<GpuConfig> designs;
+    for (const auto &name : gpuPresetNames())
+        designs.push_back(makeGpuPreset(name));
+
+    Table table({"game", "ranking preserved", "speedup corr %",
+                 "rank corr %", "fastest (full)", "fastest (subset)"});
+    bool all_preserved = true;
+    double min_corr = 1.0;
+    for (const auto &t : ctx.suite) {
+        const WorkloadSubset subset =
+            buildWorkloadSubset(t, SubsetConfig{});
+        const PathfindingResult r = runPathfinding(t, subset, designs);
+
+        std::string fastest_full, fastest_subset;
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            if (r.parentRanking[i] == 0)
+                fastest_full = r.points[i].name;
+            if (r.subsetRanking[i] == 0)
+                fastest_subset = r.points[i].name;
+        }
+        table.newRow();
+        table.cell(t.name());
+        table.cell(std::string(r.rankingPreserved ? "yes" : "NO"));
+        table.cell(r.speedupCorrelation * 100.0, 3);
+        table.cell(r.rankCorrelation * 100.0, 3);
+        table.cell(fastest_full);
+        table.cell(fastest_subset);
+        all_preserved = all_preserved && r.rankingPreserved;
+        min_corr = std::min(min_corr, r.speedupCorrelation);
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    std::printf("\nall rankings preserved: %s; minimum speedup "
+                "correlation: %.3f%%\n",
+                all_preserved ? "yes" : "NO", min_corr * 100.0);
+    std::printf("design points: baseline, wide (2x cores), fastmem "
+                "(1.6x memory clock), bigcache (4x L2), mobile\n");
+    return all_preserved ? 0 : 1;
+}

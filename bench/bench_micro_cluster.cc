@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the clustering hot paths:
+ * feature extraction, normalization, leader clustering, and k-means,
+ * across realistic per-frame draw counts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "cluster/kmeans.hh"
+#include "cluster/leader.hh"
+#include "core/draw_subset.hh"
+#include "features/extractor.hh"
+#include "synth/generator.hh"
+
+namespace {
+
+using namespace gws;
+
+/** A single-frame trace with roughly `draws` draw calls. */
+const Trace &
+frameTrace(std::int64_t draws)
+{
+    static std::map<std::int64_t, Trace> cache;
+    auto it = cache.find(draws);
+    if (it == cache.end()) {
+        GameProfile p = builtinProfile("shock2", SuiteScale::Ci);
+        p.segments = 1;
+        p.segmentFramesMin = p.segmentFramesMax = 1;
+        p.drawsPerFrame = static_cast<double>(draws);
+        p.materialsPerLevel =
+            std::max<std::uint32_t>(8, static_cast<std::uint32_t>(
+                                           draws / 3));
+        it = cache.emplace(draws, GameGenerator(p).generate()).first;
+    }
+    return it->second;
+}
+
+std::vector<FeatureVector>
+framePoints(const Trace &t)
+{
+    const FeatureExtractor ex(t);
+    const auto raw = ex.extractFrame(t.frame(0));
+    return Normalizer::fit(raw).applyAll(raw);
+}
+
+void
+BM_FeatureExtraction(benchmark::State &state)
+{
+    const Trace &t = frameTrace(state.range(0));
+    const FeatureExtractor ex(t);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.extractFrame(t.frame(0)));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(t.frame(0).drawCount()));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(120)->Arg(1200);
+
+void
+BM_NormalizerFit(benchmark::State &state)
+{
+    const Trace &t = frameTrace(state.range(0));
+    const FeatureExtractor ex(t);
+    const auto raw = ex.extractFrame(t.frame(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Normalizer::fit(raw));
+}
+BENCHMARK(BM_NormalizerFit)->Arg(1200);
+
+void
+BM_LeaderClustering(benchmark::State &state)
+{
+    const Trace &t = frameTrace(state.range(0));
+    const auto points = framePoints(t);
+    LeaderConfig cfg;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(leaderCluster(points, cfg));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_LeaderClustering)->Arg(120)->Arg(1200);
+
+void
+BM_KMeans(benchmark::State &state)
+{
+    const Trace &t = frameTrace(120);
+    const auto points = framePoints(t);
+    KMeansConfig cfg;
+    cfg.k = static_cast<std::size_t>(state.range(0));
+    cfg.restarts = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kmeans(points, cfg));
+}
+BENCHMARK(BM_KMeans)->Arg(8)->Arg(32);
+
+void
+BM_BuildFrameSubset(benchmark::State &state)
+{
+    const Trace &t = frameTrace(state.range(0));
+    const DrawSubsetConfig cfg;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildFrameSubset(t, t.frame(0), cfg));
+}
+BENCHMARK(BM_BuildFrameSubset)->Arg(120)->Arg(1200);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 1 — workload inventory. Reproduces the paper's corpus
+ * characterization: per-game frames, draw calls, draws/frame, shader
+ * counts, texture footprints, and the corpus totals ("717 frames
+ * encompassing 828K draw-calls" at paper scale).
+ */
+
+#include "bench/bench_common.hh"
+#include "trace/trace_stats.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_table1_workloads",
+                   "workload inventory (paper Table 1)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("T1", "workload inventory", ctx.scale);
+
+    Table table({"game", "frames", "draws", "draws/frame", "pixel shaders",
+                 "shaders/frame", "textures", "overdraw"});
+    std::uint64_t total_frames = 0, total_draws = 0;
+    for (const auto &trace : ctx.suite) {
+        const TraceStats s = computeTraceStats(trace);
+        table.newRow();
+        table.cell(trace.name());
+        table.cell(s.frames);
+        table.cell(humanCount(static_cast<double>(s.draws)));
+        table.cell(s.drawsPerFrame, 0);
+        table.cell(s.pixelShaderPrograms);
+        table.cell(s.pixelShadersPerFrame, 1);
+        table.cell(humanBytes(static_cast<double>(s.textureBytes)));
+        table.cell(s.meanOverdraw, 2);
+        total_frames += s.frames;
+        total_draws += s.draws;
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    const std::uint64_t corpus_draws = corpusDraws(ctx.suite, ctx.corpus);
+    std::printf("\nplaythroughs:     %llu frames, %s draws\n",
+                static_cast<unsigned long long>(total_frames),
+                humanCount(static_cast<double>(total_draws)).c_str());
+    std::printf("corpus (sampled): %zu frames, %s draws"
+                "   [paper: 717 frames, 828K draws]\n",
+                ctx.corpus.size(),
+                humanCount(static_cast<double>(corpus_draws)).c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 2 — workload bottleneck characterization. For each game: the
+ * distribution of draw time over limiting pipeline stages on the
+ * baseline architecture, the dominant stage, and the DRAM-bound time
+ * fraction (the part core-frequency scaling cannot reach). This is
+ * the characterization angle of the paper's venue and directly
+ * explains the curvature of the Fig. 7 scaling curves.
+ */
+
+#include "bench/bench_common.hh"
+#include "gpusim/report.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_table2_bottlenecks",
+                   "per-game bottleneck distribution (Table 2)");
+    addScaleOption(args);
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("T2", "bottleneck characterization", ctx.scale);
+
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    // Time-share columns for the interesting stages.
+    const Stage shown[] = {Stage::Setup,      Stage::VertexShade,
+                           Stage::Raster,     Stage::PixelShade,
+                           Stage::Texture,    Stage::Rop,
+                           Stage::L2,         Stage::Dram};
+    std::vector<std::string> headers{"game"};
+    for (Stage s : shown)
+        headers.push_back(std::string(toString(s)) + " %");
+    headers.push_back("dominant");
+    Table table(headers);
+
+    for (const auto &t : ctx.suite) {
+        const BottleneckProfile p = profileTrace(sim, t);
+        table.newRow();
+        table.cell(t.name());
+        for (Stage s : shown)
+            table.cellPercent(p.timeShare(s), 1);
+        table.cell(std::string(toString(p.dominant())));
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+    std::printf("\ncolumns are the share of total draw time whose "
+                "bottleneck is that stage; the 'dram %%' column is the "
+                "memory-bound time core-frequency scaling cannot "
+                "improve (see F7's sublinear curves).\n");
+    return 0;
+}

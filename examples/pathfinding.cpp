@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Architecture pathfinding on a workload subset — the use case in the
+ * paper's title. Five candidate GPU design points are priced two
+ * ways: fully simulating the parent workload, and simulating only the
+ * subset (< a few percent of the draws). The example prints both
+ * rankings side by side and the ranking/speedup agreement.
+ *
+ * Run:  ./pathfinding [--game=shockinf] [--scale=ci]
+ */
+
+#include <cstdio>
+
+#include "core/pathfinding.hh"
+#include "synth/generator.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("pathfinding",
+                   "rank GPU design points on a workload subset");
+    args.addString("game", "shockinf", "built-in game to generate");
+    args.addString("scale", "ci", "suite scale: ci or paper");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const Trace trace =
+        GameGenerator(builtinProfile(args.getString("game"),
+                                     parseSuiteScale(
+                                         args.getString("scale"))))
+            .generate();
+    const WorkloadSubset subset =
+        buildWorkloadSubset(trace, SubsetConfig{});
+    std::printf("workload '%s': %llu draws; subset carries %llu (%.2f%%)\n\n",
+                trace.name().c_str(),
+                static_cast<unsigned long long>(subset.parentDraws),
+                static_cast<unsigned long long>(subset.subsetDraws()),
+                subset.drawFraction() * 100.0);
+
+    std::vector<GpuConfig> designs;
+    for (const auto &name : gpuPresetNames())
+        designs.push_back(makeGpuPreset(name));
+
+    const PathfindingResult result =
+        runPathfinding(trace, subset, designs);
+
+    Table table({"design", "full sim (ms)", "subset (ms)", "full rank",
+                 "subset rank", "full speedup", "subset speedup"});
+    for (std::size_t i = 0; i < result.points.size(); ++i) {
+        const auto &p = result.points[i];
+        table.newRow();
+        table.cell(p.name);
+        table.cell(p.parentNs * 1e-6, 2);
+        table.cell(p.subsetNs * 1e-6, 2);
+        table.cell(result.parentRanking[i]);
+        table.cell(result.subsetRanking[i]);
+        table.cell(p.parentSpeedup, 3);
+        table.cell(p.subsetSpeedup, 3);
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+    std::printf("\nranking preserved:    %s\n",
+                result.rankingPreserved ? "yes" : "NO");
+    std::printf("speedup correlation:  %.4f\n", result.speedupCorrelation);
+    std::printf("rank correlation:     %.4f\n", result.rankCorrelation);
+    return result.rankingPreserved ? 0 : 1;
+}

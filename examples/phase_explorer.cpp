@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Phase explorer: visualize a game's phase timeline as a letter strip
+ * (A, B, C, ... per phase), dump each phase's shader-vector size,
+ * occurrence count, and representative interval, and show how the
+ * interval length knob changes the picture.
+ *
+ * Run:  ./phase_explorer [--game=shock1] [--scale=ci] [--interval=10]
+ *       [--similarity=1.0]
+ */
+
+#include <cstdio>
+
+#include "phase/phase_detect.hh"
+#include "synth/generator.hh"
+#include "util/args.hh"
+#include "util/table.hh"
+
+namespace {
+
+char
+phaseLetter(std::uint32_t phase)
+{
+    if (phase < 26)
+        return static_cast<char>('A' + phase);
+    return '?';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("phase_explorer",
+                   "shader-vector phase timeline of a game");
+    args.addString("game", "shock1", "built-in game to generate");
+    args.addString("scale", "ci", "suite scale: ci or paper");
+    args.addInt("interval", 10, "frames per interval");
+    args.addDouble("similarity", 1.0,
+                   "Jaccard threshold (1.0 = exact equality)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const GameGenerator gen(builtinProfile(
+        args.getString("game"), parseSuiteScale(args.getString("scale"))));
+    const Trace trace = gen.generate();
+
+    PhaseConfig config;
+    config.intervalFrames =
+        static_cast<std::uint32_t>(args.getInt("interval"));
+    config.similarityThreshold = args.getDouble("similarity");
+    const PhaseTimeline timeline = detectPhases(trace, config);
+
+    std::printf("game '%s': %zu frames -> %zu intervals of %u frames\n",
+                trace.name().c_str(), trace.frameCount(),
+                timeline.intervals.size(), config.intervalFrames);
+
+    std::printf("\ntimeline: ");
+    for (const auto &iv : timeline.intervals)
+        std::putchar(phaseLetter(iv.phaseId));
+    std::printf("\n  (ground-truth level schedule:");
+    for (std::uint32_t level : gen.levelSchedule())
+        std::printf(" %u", level);
+    std::printf(")\n\n");
+
+    Table table({"phase", "occurrences", "frames", "shaders",
+                 "rep interval", "rep frames"});
+    const auto occurrences = timeline.occurrenceCounts();
+    for (std::uint32_t p = 0; p < timeline.phaseCount; ++p) {
+        std::uint64_t frames = 0;
+        for (std::size_t iv : timeline.phaseIntervals[p])
+            frames += timeline.intervals[iv].frames();
+        const Interval &rep =
+            timeline.intervals[timeline.representatives[p]];
+        table.newRow();
+        table.cell(std::string(1, phaseLetter(p)));
+        table.cell(occurrences[p]);
+        table.cell(frames);
+        table.cell(rep.shaders.count());
+        table.cell("[" + std::to_string(rep.beginFrame) + ", " +
+                   std::to_string(rep.endFrame) + ")");
+        table.cell(static_cast<std::size_t>(rep.frames()));
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    std::printf("\nphases: %u  recurring: %s  representative fraction: "
+                "%.1f%%\n",
+                timeline.phaseCount,
+                timeline.hasRecurringPhase() ? "yes" : "no",
+                timeline.representativeFraction() * 100.0);
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Trace tool: generate, save, load, and inspect workload traces and
+ * their subsets in the gws binary formats — the capture-file workflow
+ * a real deployment would use.
+ *
+ * Run:
+ *   ./trace_tool --mode=generate --game=shock2 --out=shock2.trace
+ *   ./trace_tool --mode=info --in=shock2.trace
+ *   ./trace_tool --mode=roundtrip --game=circuit
+ *   ./trace_tool --mode=subset --in=shock2.trace --out=shock2.subset
+ *   ./trace_tool --mode=subset-info --in=shock2.subset
+ */
+
+#include <cstdio>
+
+#include "core/subset_io.hh"
+#include "synth/generator.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stats.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace {
+
+void
+printInfo(const gws::Trace &trace)
+{
+    using namespace gws;
+    const TraceStats s = computeTraceStats(trace);
+    std::printf("name:               %s\n", trace.name().c_str());
+    std::printf("frames:             %llu\n",
+                static_cast<unsigned long long>(s.frames));
+    std::printf("draw calls:         %s (%.0f per frame)\n",
+                humanCount(static_cast<double>(s.draws)).c_str(),
+                s.drawsPerFrame);
+    std::printf("vertices:           %s\n",
+                humanCount(static_cast<double>(s.vertices)).c_str());
+    std::printf("shaded pixels:      %s\n",
+                humanCount(static_cast<double>(s.shadedPixels)).c_str());
+    std::printf("shader programs:    %llu (%llu pixel)\n",
+                static_cast<unsigned long long>(s.shaderPrograms),
+                static_cast<unsigned long long>(s.pixelShaderPrograms));
+    std::printf("pixel shaders/frame: %.1f\n", s.pixelShadersPerFrame);
+    std::printf("texture footprint:  %s\n",
+                humanBytes(static_cast<double>(s.textureBytes)).c_str());
+    std::printf("mean overdraw:      %.2f\n", s.meanOverdraw);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("trace_tool",
+                   "generate / save / inspect gws traces and subsets");
+    args.addString("mode", "info",
+                   "one of: generate, info, roundtrip, subset, "
+                   "subset-info");
+    args.addString("game", "shock1", "built-in game (generate/roundtrip)");
+    args.addString("scale", "ci", "suite scale: ci or paper");
+    args.addString("in", "", "input trace file (info)");
+    args.addString("out", "", "output trace file (generate)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const std::string mode = args.getString("mode");
+    try {
+        if (mode == "generate") {
+            const std::string out = args.getString("out");
+            if (out.empty())
+                GWS_FATAL("--mode=generate needs --out=<file>");
+            const Trace trace =
+                GameGenerator(builtinProfile(
+                                  args.getString("game"),
+                                  parseSuiteScale(args.getString("scale"))))
+                    .generate();
+            writeTraceFile(trace, out);
+            std::printf("wrote '%s'\n", out.c_str());
+            printInfo(trace);
+        } else if (mode == "info") {
+            const std::string in = args.getString("in");
+            if (in.empty())
+                GWS_FATAL("--mode=info needs --in=<file>");
+            printInfo(readTraceFile(in));
+        } else if (mode == "roundtrip") {
+            const Trace trace =
+                GameGenerator(builtinProfile(
+                                  args.getString("game"),
+                                  parseSuiteScale(args.getString("scale"))))
+                    .generate();
+            const std::string path = "/tmp/gws_roundtrip.trace";
+            writeTraceFile(trace, path);
+            const Trace copy = readTraceFile(path);
+            copy.validate();
+            const bool equal = trace == copy;
+            std::printf("roundtrip through %s: %s\n", path.c_str(),
+                        equal ? "identical" : "MISMATCH");
+            std::remove(path.c_str());
+            return equal ? 0 : 1;
+        } else if (mode == "subset") {
+            const std::string in = args.getString("in");
+            const std::string out = args.getString("out");
+            if (in.empty() || out.empty())
+                GWS_FATAL("--mode=subset needs --in=<trace> and "
+                          "--out=<subset>");
+            const Trace trace = readTraceFile(in);
+            const WorkloadSubset subset =
+                buildWorkloadSubset(trace, SubsetConfig{});
+            writeSubsetFile(subset, out);
+            std::printf("wrote '%s': %u phases, %llu of %llu draws "
+                        "(%s)\n",
+                        out.c_str(), subset.timeline.phaseCount,
+                        static_cast<unsigned long long>(
+                            subset.subsetDraws()),
+                        static_cast<unsigned long long>(
+                            subset.parentDraws),
+                        formatPercent(subset.drawFraction(), 2).c_str());
+        } else if (mode == "subset-info") {
+            const std::string in = args.getString("in");
+            if (in.empty())
+                GWS_FATAL("--mode=subset-info needs --in=<subset>");
+            const WorkloadSubset s = readSubsetFile(in);
+            std::printf("parent:        %s (%llu frames, %llu draws)\n",
+                        s.parentName.c_str(),
+                        static_cast<unsigned long long>(s.parentFrames),
+                        static_cast<unsigned long long>(s.parentDraws));
+            std::printf("prediction:    %s\n", toString(s.prediction));
+            std::printf("phases:        %u over %zu intervals\n",
+                        s.timeline.phaseCount, s.timeline.intervals.size());
+            std::printf("units:         %zu\n", s.units.size());
+            std::printf("subset draws:  %llu (%s of parent)\n",
+                        static_cast<unsigned long long>(s.subsetDraws()),
+                        formatPercent(s.drawFraction(), 3).c_str());
+        } else {
+            GWS_FATAL("unknown --mode '", mode, "'");
+        }
+    } catch (const TraceIoError &e) {
+        std::fprintf(stderr, "trace I/O error: %s\n", e.what());
+        return 1;
+    } catch (const SubsetIoError &e) {
+        std::fprintf(stderr, "subset I/O error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

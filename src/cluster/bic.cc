@@ -1,0 +1,80 @@
+#include "cluster/bic.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+/**
+ * Dimensions that actually vary across the sample. Degenerate
+ * (constant) dimensions carry no information and would deflate the
+ * shared-variance estimate, biasing the BIC toward large k.
+ */
+std::size_t
+effectiveDims(const std::vector<FeatureVector> &points)
+{
+    std::size_t active = 0;
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        const double first = points.front().at(d);
+        for (const auto &p : points) {
+            if (p.at(d) != first) {
+                ++active;
+                break;
+            }
+        }
+    }
+    return std::max<std::size_t>(active, 1);
+}
+
+} // namespace
+
+double
+clusterLogLikelihood(const Clustering &clustering,
+                     const std::vector<FeatureVector> &points)
+{
+    GWS_ASSERT(points.size() == clustering.assignment.size(),
+               "BIC: points/assignment length mismatch");
+    const double n = static_cast<double>(points.size());
+    const double d = static_cast<double>(effectiveDims(points));
+    const double k = static_cast<double>(clustering.k);
+
+    if (points.size() <= clustering.k)
+        return 0.0; // perfect fit, zero variance: likelihood saturates
+
+    // Shared spherical variance (MLE with k centroids spent).
+    const double inertia = clustering.inertia(points);
+    const double sigma2 = inertia / (d * (n - k));
+    if (sigma2 <= 0.0)
+        return 0.0;
+
+    double log_l = 0.0;
+    for (std::size_t size : clustering.sizes()) {
+        const double r = static_cast<double>(size);
+        log_l += r * std::log(r / n);
+    }
+    log_l -= n * d / 2.0 * std::log(2.0 * M_PI * sigma2);
+    log_l -= d * (n - k) / 2.0;
+    return log_l;
+}
+
+double
+bicScore(const Clustering &clustering,
+         const std::vector<FeatureVector> &points)
+{
+    if (points.empty())
+        return -std::numeric_limits<double>::infinity();
+    const double n = static_cast<double>(points.size());
+    const double d = static_cast<double>(effectiveDims(points));
+    const double k = static_cast<double>(clustering.k);
+    // Free parameters: k-1 mixture weights, k*d centroid coords, one
+    // shared variance.
+    const double params = (k - 1.0) + k * d + 1.0;
+    return clusterLogLikelihood(clustering, points) -
+           params / 2.0 * std::log(n);
+}
+
+} // namespace gws

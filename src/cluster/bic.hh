@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Bayesian Information Criterion scoring of a clustering, following
+ * the X-means / SimPoint formulation (spherical Gaussian clusters,
+ * shared variance). Used by the k-selection sweep.
+ */
+
+#ifndef GWS_CLUSTER_BIC_HH
+#define GWS_CLUSTER_BIC_HH
+
+#include "cluster/clustering.hh"
+
+namespace gws {
+
+/**
+ * BIC score of a clustering over its points: higher is better. Returns
+ * -infinity when the likelihood is undefined (fewer points than
+ * clusters would require). Panics on a size mismatch.
+ */
+double bicScore(const Clustering &clustering,
+                const std::vector<FeatureVector> &points);
+
+/**
+ * Log-likelihood term of the BIC under the spherical Gaussian model.
+ * Exposed separately for tests.
+ */
+double clusterLogLikelihood(const Clustering &clustering,
+                            const std::vector<FeatureVector> &points);
+
+} // namespace gws
+
+#endif // GWS_CLUSTER_BIC_HH

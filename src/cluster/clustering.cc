@@ -1,0 +1,69 @@
+#include "cluster/clustering.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+std::vector<std::size_t>
+Clustering::members(std::size_t cluster) const
+{
+    GWS_ASSERT(cluster < k, "cluster index out of range: ", cluster);
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        if (assignment[i] == cluster)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+Clustering::sizes() const
+{
+    std::vector<std::size_t> out(k, 0);
+    for (std::uint32_t c : assignment)
+        ++out[c];
+    return out;
+}
+
+double
+Clustering::efficiency() const
+{
+    if (assignment.empty())
+        return 0.0;
+    return 1.0 - static_cast<double>(k) /
+                     static_cast<double>(assignment.size());
+}
+
+double
+Clustering::inertia(const std::vector<FeatureVector> &points) const
+{
+    GWS_ASSERT(points.size() == assignment.size(),
+               "inertia: points/assignment length mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        sum += points[i].squaredDistance(centroids[assignment[i]]);
+    return sum;
+}
+
+void
+Clustering::validate() const
+{
+    GWS_ASSERT(representatives.size() == k, "reps/k mismatch");
+    GWS_ASSERT(centroids.size() == k, "centroids/k mismatch");
+    std::vector<std::size_t> count(k, 0);
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        GWS_ASSERT(assignment[i] < k, "item ", i,
+                   " assigned to out-of-range cluster ", assignment[i]);
+        ++count[assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+        GWS_ASSERT(count[c] > 0, "cluster ", c, " is empty");
+        const std::size_t rep = representatives[c];
+        GWS_ASSERT(rep < assignment.size(),
+                   "rep of cluster ", c, " out of range");
+        GWS_ASSERT(assignment[rep] == c, "rep of cluster ", c,
+                   " belongs to cluster ", assignment[rep]);
+    }
+}
+
+} // namespace gws

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Common clustering result representation shared by every algorithm.
+ */
+
+#ifndef GWS_CLUSTER_CLUSTERING_HH
+#define GWS_CLUSTER_CLUSTERING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_vector.hh"
+
+namespace gws {
+
+/** A clustering of n items into k clusters with one representative each. */
+struct Clustering
+{
+    /** Number of clusters. */
+    std::size_t k = 0;
+
+    /** Item index -> cluster index, length n. */
+    std::vector<std::uint32_t> assignment;
+
+    /** Cluster index -> representative item index, length k. */
+    std::vector<std::size_t> representatives;
+
+    /** Cluster centroids in feature space, length k. */
+    std::vector<FeatureVector> centroids;
+
+    /** Number of clustered items. */
+    std::size_t items() const { return assignment.size(); }
+
+    /** Member item indices of one cluster. */
+    std::vector<std::size_t> members(std::size_t cluster) const;
+
+    /** Cluster sizes, length k. */
+    std::vector<std::size_t> sizes() const;
+
+    /**
+     * Clustering efficiency: the fraction of per-draw simulations the
+     * clustering avoids, 1 - k/n (0 when every item is its own
+     * cluster). This is the paper's headline efficiency metric.
+     */
+    double efficiency() const;
+
+    /** Sum of squared distances of items to their centroid. */
+    double inertia(const std::vector<FeatureVector> &points) const;
+
+    /**
+     * Panics unless the structure is self-consistent: assignments in
+     * range, one representative per cluster assigned to that cluster,
+     * no empty cluster.
+     */
+    void validate() const;
+};
+
+} // namespace gws
+
+#endif // GWS_CLUSTER_CLUSTERING_HH

@@ -1,0 +1,190 @@
+#include "cluster/kmeans.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gws {
+
+namespace {
+
+/** Index of the centroid nearest to a point. */
+std::uint32_t
+nearestCentroid(const FeatureVector &p,
+                const std::vector<FeatureVector> &centroids)
+{
+    std::uint32_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = p.squaredDistance(centroids[c]);
+        if (d < best_d) {
+            best_d = d;
+            best = static_cast<std::uint32_t>(c);
+        }
+    }
+    return best;
+}
+
+std::vector<FeatureVector>
+seedCentroids(const std::vector<FeatureVector> &points, std::size_t k,
+              KMeansInit init, Rng &rng)
+{
+    std::vector<FeatureVector> centroids;
+    centroids.reserve(k);
+    if (init == KMeansInit::Random) {
+        const auto perm = rng.permutation(points.size());
+        for (std::size_t i = 0; i < k; ++i)
+            centroids.push_back(points[perm[i]]);
+        return centroids;
+    }
+    // k-means++: first uniform, then D^2-weighted.
+    centroids.push_back(points[rng.index(points.size())]);
+    std::vector<double> d2(points.size());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            d2[i] = points[i].squaredDistance(centroids[0]);
+            for (std::size_t c = 1; c < centroids.size(); ++c)
+                d2[i] = std::min(d2[i],
+                                 points[i].squaredDistance(centroids[c]));
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid; any pick
+            // works and Lloyd will repair duplicates.
+            centroids.push_back(points[rng.index(points.size())]);
+            continue;
+        }
+        double target = rng.uniform() * total;
+        std::size_t pick = points.size() - 1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            target -= d2[i];
+            if (target < 0.0) {
+                pick = i;
+                break;
+            }
+        }
+        centroids.push_back(points[pick]);
+    }
+    return centroids;
+}
+
+struct LloydRun
+{
+    std::vector<std::uint32_t> assignment;
+    std::vector<FeatureVector> centroids;
+    double inertia = 0.0;
+    std::size_t iterations = 0;
+};
+
+LloydRun
+runLloyd(const std::vector<FeatureVector> &points, std::size_t k,
+         const KMeansConfig &config, std::uint64_t seed)
+{
+    Rng rng(seed);
+    LloydRun run;
+    run.centroids = seedCentroids(points, k, config.init, rng);
+    run.assignment.assign(points.size(), 0);
+
+    for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
+        ++run.iterations;
+        bool changed = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::uint32_t c = nearestCentroid(points[i],
+                                                    run.centroids);
+            if (c != run.assignment[i]) {
+                run.assignment[i] = c;
+                changed = true;
+            }
+        }
+
+        // Recompute centroids; repair empty clusters by stealing the
+        // point farthest from its centroid.
+        std::vector<FeatureVector> sums(k);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::uint32_t c = run.assignment[i];
+            for (std::size_t d = 0; d < numFeatureDims; ++d)
+                sums[c].at(d) += points[i].at(d);
+            ++counts[c];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                double worst = -1.0;
+                std::size_t worst_i = 0;
+                for (std::size_t i = 0; i < points.size(); ++i) {
+                    if (counts[run.assignment[i]] <= 1)
+                        continue;
+                    const double d = points[i].squaredDistance(
+                        run.centroids[run.assignment[i]]);
+                    if (d > worst) {
+                        worst = d;
+                        worst_i = i;
+                    }
+                }
+                --counts[run.assignment[worst_i]];
+                for (std::size_t d = 0; d < numFeatureDims; ++d)
+                    sums[run.assignment[worst_i]].at(d) -=
+                        points[worst_i].at(d);
+                run.assignment[worst_i] = static_cast<std::uint32_t>(c);
+                counts[c] = 1;
+                sums[c] = points[worst_i];
+                changed = true;
+            }
+            for (std::size_t d = 0; d < numFeatureDims; ++d)
+                run.centroids[c].at(d) =
+                    sums[c].at(d) / static_cast<double>(counts[c]);
+        }
+        if (!changed)
+            break;
+    }
+
+    run.inertia = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        run.inertia += points[i].squaredDistance(
+            run.centroids[run.assignment[i]]);
+    return run;
+}
+
+} // namespace
+
+Clustering
+kmeans(const std::vector<FeatureVector> &points, const KMeansConfig &config)
+{
+    GWS_ASSERT(!points.empty(), "kmeans on an empty point set");
+    GWS_ASSERT(config.restarts >= 1, "kmeans needs at least one restart");
+    GWS_ASSERT(config.maxIterations >= 1, "kmeans needs iterations");
+    const std::size_t k = std::min(std::max<std::size_t>(config.k, 1),
+                                   points.size());
+
+    LloydRun best;
+    best.inertia = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < config.restarts; ++r) {
+        LloydRun run = runLloyd(points, k, config, config.seed + r);
+        if (run.inertia < best.inertia)
+            best = std::move(run);
+    }
+
+    Clustering out;
+    out.k = k;
+    out.assignment = std::move(best.assignment);
+    out.centroids = std::move(best.centroids);
+
+    // Representative = member nearest its centroid.
+    out.representatives.assign(k, SIZE_MAX);
+    std::vector<double> best_d(k, std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::uint32_t c = out.assignment[i];
+        const double d = points[i].squaredDistance(out.centroids[c]);
+        if (d < best_d[c]) {
+            best_d[c] = d;
+            out.representatives[c] = i;
+        }
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace gws

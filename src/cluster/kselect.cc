@@ -1,0 +1,55 @@
+#include "cluster/kselect.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/bic.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+KSelectResult
+selectK(const std::vector<FeatureVector> &points,
+        const KSelectConfig &config)
+{
+    GWS_ASSERT(!points.empty(), "selectK on an empty point set");
+    GWS_ASSERT(config.maxK >= 1 && config.step >= 1,
+               "degenerate k-selection config");
+    GWS_ASSERT(config.bicFraction > 0.0 && config.bicFraction <= 1.0,
+               "bicFraction out of (0,1]: ", config.bicFraction);
+
+    const std::size_t max_k = std::min(config.maxK, points.size());
+    KSelectResult result;
+    std::vector<Clustering> runs;
+    double best = -std::numeric_limits<double>::infinity();
+    double worst = std::numeric_limits<double>::infinity();
+
+    for (std::size_t k = 1; k <= max_k; k += config.step) {
+        KMeansConfig kc = config.base;
+        kc.k = k;
+        Clustering c = kmeans(points, kc);
+        const double score = bicScore(c, points);
+        result.triedK.push_back(k);
+        result.bicByK.push_back(score);
+        runs.push_back(std::move(c));
+        best = std::max(best, score);
+        worst = std::min(worst, score);
+    }
+
+    // Smallest k whose score covers bicFraction of the observed span.
+    const double span = best - worst;
+    const double threshold =
+        span > 0.0 ? worst + config.bicFraction * span : best;
+    std::size_t pick = result.triedK.size() - 1;
+    for (std::size_t i = 0; i < result.triedK.size(); ++i) {
+        if (result.bicByK[i] >= threshold) {
+            pick = i;
+            break;
+        }
+    }
+    result.chosenK = result.triedK[pick];
+    result.clustering = std::move(runs[pick]);
+    return result;
+}
+
+} // namespace gws

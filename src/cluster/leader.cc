@@ -1,0 +1,99 @@
+#include "cluster/leader.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+Clustering
+leaderCluster(const std::vector<FeatureVector> &points,
+              const LeaderConfig &config)
+{
+    GWS_ASSERT(!points.empty(), "leader clustering on an empty point set");
+    GWS_ASSERT(config.radius >= 0.0, "negative radius: ", config.radius);
+    const double r2 = config.radius * config.radius;
+
+    Clustering out;
+    std::vector<std::size_t> leader_index; // cluster -> founding item
+    out.assignment.assign(points.size(), 0);
+
+    // Pass 1: greedy leader assignment in submission order.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        double best_d = std::numeric_limits<double>::infinity();
+        std::size_t best_c = SIZE_MAX;
+        for (std::size_t c = 0; c < leader_index.size(); ++c) {
+            const double d =
+                points[i].squaredDistance(points[leader_index[c]]);
+            if (d < best_d) {
+                best_d = d;
+                best_c = c;
+            }
+        }
+        if (best_c != SIZE_MAX && best_d <= r2) {
+            out.assignment[i] = static_cast<std::uint32_t>(best_c);
+        } else {
+            out.assignment[i] =
+                static_cast<std::uint32_t>(leader_index.size());
+            leader_index.push_back(i);
+        }
+    }
+    out.k = leader_index.size();
+
+    auto recompute_centroids = [&]() {
+        out.centroids.assign(out.k, FeatureVector());
+        std::vector<std::size_t> counts(out.k, 0);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const std::uint32_t c = out.assignment[i];
+            for (std::size_t d = 0; d < numFeatureDims; ++d)
+                out.centroids[c].at(d) += points[i].at(d);
+            ++counts[c];
+        }
+        for (std::size_t c = 0; c < out.k; ++c) {
+            GWS_ASSERT(counts[c] > 0, "leader cluster ", c, " empty");
+            for (std::size_t d = 0; d < numFeatureDims; ++d)
+                out.centroids[c].at(d) /= static_cast<double>(counts[c]);
+        }
+    };
+    recompute_centroids();
+
+    if (config.refine) {
+        // Pass 2: reassign to the nearest centroid, but never let a
+        // founding leader leave its own cluster (keeps clusters
+        // non-empty without a repair loop).
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            double best_d = std::numeric_limits<double>::infinity();
+            std::uint32_t best_c = out.assignment[i];
+            for (std::size_t c = 0; c < out.k; ++c) {
+                const double d =
+                    points[i].squaredDistance(out.centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best_c = static_cast<std::uint32_t>(c);
+                }
+            }
+            out.assignment[i] = best_c;
+        }
+        for (std::size_t c = 0; c < out.k; ++c)
+            out.assignment[leader_index[c]] =
+                static_cast<std::uint32_t>(c);
+        recompute_centroids();
+    }
+
+    // Representatives: member nearest the final centroid.
+    out.representatives.assign(out.k, SIZE_MAX);
+    std::vector<double> best_d(out.k,
+                               std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::uint32_t c = out.assignment[i];
+        const double d = points[i].squaredDistance(out.centroids[c]);
+        if (d < best_d[c]) {
+            best_d[c] = d;
+            out.representatives[c] = i;
+        }
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace gws

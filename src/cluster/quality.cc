@@ -1,0 +1,90 @@
+#include "cluster/quality.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(PredictionMode mode)
+{
+    switch (mode) {
+      case PredictionMode::Uniform:
+        return "uniform";
+      case PredictionMode::WorkScaled:
+        return "work_scaled";
+    }
+    GWS_PANIC("unknown prediction mode ", static_cast<int>(mode));
+}
+
+std::vector<double>
+predictItemCosts(const Clustering &clustering,
+                 const std::vector<double> &rep_costs, PredictionMode mode,
+                 const std::vector<double> &work_units)
+{
+    GWS_ASSERT(rep_costs.size() == clustering.k,
+               "rep_costs length ", rep_costs.size(), " != k ",
+               clustering.k);
+    if (mode == PredictionMode::WorkScaled) {
+        GWS_ASSERT(work_units.size() == clustering.items(),
+                   "WorkScaled prediction needs per-item work units");
+    }
+    std::vector<double> out(clustering.items(), 0.0);
+    for (std::size_t i = 0; i < clustering.items(); ++i) {
+        const std::uint32_t c = clustering.assignment[i];
+        double predicted = rep_costs[c];
+        if (mode == PredictionMode::WorkScaled) {
+            const double rep_work =
+                work_units[clustering.representatives[c]];
+            if (rep_work > 0.0)
+                predicted *= work_units[i] / rep_work;
+        }
+        out[i] = predicted;
+    }
+    return out;
+}
+
+ClusterQuality
+assessClusterQuality(const Clustering &clustering,
+                     const std::vector<double> &costs, PredictionMode mode,
+                     const std::vector<double> &work_units,
+                     double outlier_threshold)
+{
+    GWS_ASSERT(costs.size() == clustering.items(),
+               "costs length ", costs.size(), " != items ",
+               clustering.items());
+    GWS_ASSERT(outlier_threshold > 0.0, "outlier threshold must be > 0");
+
+    std::vector<double> rep_costs(clustering.k, 0.0);
+    for (std::size_t c = 0; c < clustering.k; ++c) {
+        rep_costs[c] = costs[clustering.representatives[c]];
+        GWS_ASSERT(rep_costs[c] > 0.0,
+                   "non-positive representative cost in cluster ", c);
+    }
+    const auto predicted =
+        predictItemCosts(clustering, rep_costs, mode, work_units);
+
+    ClusterQuality q;
+    q.intraError.assign(clustering.k, 0.0);
+    std::vector<std::size_t> counts(clustering.k, 0);
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        GWS_ASSERT(costs[i] > 0.0, "non-positive cost for item ", i);
+        const std::uint32_t c = clustering.assignment[i];
+        q.intraError[c] += std::fabs(predicted[i] - costs[i]) / costs[i];
+        ++counts[c];
+    }
+    double total = 0.0;
+    for (std::size_t c = 0; c < clustering.k; ++c) {
+        q.intraError[c] /= static_cast<double>(counts[c]);
+        total += q.intraError[c];
+        if (q.intraError[c] > outlier_threshold)
+            ++q.outliers;
+    }
+    q.meanIntraError = total / static_cast<double>(clustering.k);
+    q.outlierFraction = static_cast<double>(q.outliers) /
+                        static_cast<double>(clustering.k);
+    return q;
+}
+
+} // namespace gws

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Clustering quality metrics from the paper: intra-cluster prediction
+ * error per cluster and the cluster-outlier fraction (clusters whose
+ * intra-cluster prediction error exceeds 20 %).
+ */
+
+#ifndef GWS_CLUSTER_QUALITY_HH
+#define GWS_CLUSTER_QUALITY_HH
+
+#include "cluster/clustering.hh"
+
+namespace gws {
+
+/** How a member's cost is predicted from its representative's cost. */
+enum class PredictionMode : std::uint8_t
+{
+    /** Member cost = representative cost (the paper's scheme). */
+    Uniform = 0,
+
+    /**
+     * Member cost = representative cost scaled by the ratio of
+     * micro-architecture-independent work units (extension studied in
+     * the ablation benches).
+     */
+    WorkScaled = 1,
+};
+
+/** Printable mode name. */
+const char *toString(PredictionMode mode);
+
+/** The paper's outlier threshold: intra-cluster error > 20 %. */
+constexpr double defaultOutlierThreshold = 0.20;
+
+/** Quality metrics of one clustering against true per-item costs. */
+struct ClusterQuality
+{
+    /**
+     * Per-cluster intra-cluster prediction error: mean over members of
+     * |predicted - actual| / actual.
+     */
+    std::vector<double> intraError;
+
+    /** Mean of intraError over clusters. */
+    double meanIntraError = 0.0;
+
+    /** Clusters whose intraError exceeds the threshold. */
+    std::size_t outliers = 0;
+
+    /** outliers / k. */
+    double outlierFraction = 0.0;
+};
+
+/**
+ * Assess a clustering. costs[i] is the true (simulated) cost of item
+ * i; work_units[i] is the micro-architecture-independent work scalar
+ * used by WorkScaled mode (pass an empty vector for Uniform). Panics
+ * on size mismatches or non-positive costs.
+ */
+ClusterQuality
+assessClusterQuality(const Clustering &clustering,
+                     const std::vector<double> &costs,
+                     PredictionMode mode = PredictionMode::Uniform,
+                     const std::vector<double> &work_units = {},
+                     double outlier_threshold = defaultOutlierThreshold);
+
+/**
+ * Predicted cost of every item from its cluster representative under
+ * the given mode. Building block for frame-level prediction.
+ */
+std::vector<double>
+predictItemCosts(const Clustering &clustering,
+                 const std::vector<double> &rep_costs,
+                 PredictionMode mode,
+                 const std::vector<double> &work_units = {});
+
+} // namespace gws
+
+#endif // GWS_CLUSTER_QUALITY_HH

@@ -1,0 +1,107 @@
+#include "core/baselines.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gws {
+
+const char *
+toString(BaselineKind kind)
+{
+    switch (kind) {
+      case BaselineKind::Random:
+        return "random";
+      case BaselineKind::Uniform:
+        return "uniform";
+      case BaselineKind::StratifiedShader:
+        return "stratified";
+    }
+    GWS_PANIC("unknown baseline kind ", static_cast<int>(kind));
+}
+
+std::vector<BaselineKind>
+allBaselineKinds()
+{
+    return {BaselineKind::Random, BaselineKind::Uniform,
+            BaselineKind::StratifiedShader};
+}
+
+BaselineSample
+selectBaselineSample(const Frame &frame, std::size_t budget,
+                     BaselineKind kind, std::uint64_t seed)
+{
+    const std::size_t n = frame.drawCount();
+    GWS_ASSERT(n > 0, "baseline sample of an empty frame");
+    const std::size_t k = std::clamp<std::size_t>(budget, 1, n);
+
+    BaselineSample sample;
+    switch (kind) {
+      case BaselineKind::Random: {
+        Rng rng(seed);
+        auto perm = rng.permutation(n);
+        perm.resize(k);
+        std::sort(perm.begin(), perm.end());
+        sample.draws = std::move(perm);
+        sample.weights.assign(k, static_cast<double>(n) /
+                                     static_cast<double>(k));
+        break;
+      }
+      case BaselineKind::Uniform: {
+        for (std::size_t i = 0; i < k; ++i)
+            sample.draws.push_back(i * n / k);
+        sample.weights.assign(k, static_cast<double>(n) /
+                                     static_cast<double>(k));
+        break;
+      }
+      case BaselineKind::StratifiedShader: {
+        // Strata by bound pixel shader, proportional allocation with
+        // at least one sample per stratum (bounded by budget order).
+        std::map<ShaderId, std::vector<std::size_t>> strata;
+        for (std::size_t i = 0; i < n; ++i)
+            strata[frame.draws()[i].state.pixelShader].push_back(i);
+
+        Rng rng(seed);
+        for (const auto &[shader, members] : strata) {
+            std::size_t quota = std::max<std::size_t>(
+                1, members.size() * k / n);
+            quota = std::min(quota, members.size());
+            auto perm = rng.permutation(members.size());
+            perm.resize(quota);
+            std::sort(perm.begin(), perm.end());
+            const double w = static_cast<double>(members.size()) /
+                             static_cast<double>(quota);
+            for (std::size_t idx : perm) {
+                sample.draws.push_back(members[idx]);
+                sample.weights.push_back(w);
+            }
+        }
+        break;
+      }
+    }
+    GWS_ASSERT(!sample.draws.empty(), "baseline produced no sample");
+    return sample;
+}
+
+double
+predictFrameFromSample(const Trace &trace, const Frame &frame,
+                       const GpuSimulator &simulator,
+                       const BaselineSample &sample)
+{
+    GWS_ASSERT(sample.draws.size() == sample.weights.size(),
+               "sample draws/weights length mismatch");
+    double total = simulator.config().frameOverheadUs * 1e3;
+    for (std::size_t i = 0; i < sample.draws.size(); ++i) {
+        GWS_ASSERT(sample.draws[i] < frame.drawCount(),
+                   "sampled draw out of range");
+        total += sample.weights[i] *
+                 simulator
+                     .simulateDraw(trace, frame.draws()[sample.draws[i]])
+                     .totalNs;
+    }
+    return total;
+}
+
+} // namespace gws

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Baseline frame-subsetting strategies the clustering methodology is
+ * compared against at equal simulation budget: random sampling,
+ * uniform (every n/k-th draw) sampling, and stratified-by-pixel-shader
+ * sampling with proportional allocation.
+ */
+
+#ifndef GWS_CORE_BASELINES_HH
+#define GWS_CORE_BASELINES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/gpu_simulator.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Baseline selector kinds. */
+enum class BaselineKind : std::uint8_t
+{
+    /** Uniform random sample without replacement. */
+    Random = 0,
+
+    /** Every (n/k)-th draw in submission order. */
+    Uniform = 1,
+
+    /** Per-pixel-shader strata, proportional allocation. */
+    StratifiedShader = 2,
+};
+
+/** Printable kind name. */
+const char *toString(BaselineKind kind);
+
+/** All baseline kinds in canonical order. */
+std::vector<BaselineKind> allBaselineKinds();
+
+/** A baseline frame sample: chosen draws and their expansion weights. */
+struct BaselineSample
+{
+    /** Sampled draw indices within the frame. */
+    std::vector<std::size_t> draws;
+
+    /** Expansion weight of each sampled draw (sums to drawCount). */
+    std::vector<double> weights;
+};
+
+/**
+ * Select a baseline sample of the given budget from a frame. The
+ * budget is clamped to [1, drawCount]. Deterministic for a given seed.
+ */
+BaselineSample selectBaselineSample(const Frame &frame,
+                                    std::size_t budget, BaselineKind kind,
+                                    std::uint64_t seed);
+
+/**
+ * Predicted frame cost from a baseline sample: weighted sum of the
+ * sampled draws' simulated costs plus the frame overhead.
+ */
+double predictFrameFromSample(const Trace &trace, const Frame &frame,
+                              const GpuSimulator &simulator,
+                              const BaselineSample &sample);
+
+} // namespace gws
+
+#endif // GWS_CORE_BASELINES_HH

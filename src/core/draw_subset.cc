@@ -1,0 +1,56 @@
+#include "core/draw_subset.hh"
+
+#include "features/extractor.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(ClusterAlgo algo)
+{
+    switch (algo) {
+      case ClusterAlgo::Leader:
+        return "leader";
+      case ClusterAlgo::KMeansBic:
+        return "kmeans_bic";
+    }
+    GWS_PANIC("unknown cluster algo ", static_cast<int>(algo));
+}
+
+double
+drawWorkUnits(const Trace &trace, const DrawCall &draw)
+{
+    const auto &vs = trace.shaders().get(draw.state.vertexShader);
+    const auto &ps = trace.shaders().get(draw.state.pixelShader);
+    return static_cast<double>(draw.vertices()) *
+               static_cast<double>(vs.mix().totalOps()) +
+           static_cast<double>(draw.shadedPixels) *
+               static_cast<double>(ps.mix().totalOps()) +
+           500.0; // per-draw submission overhead term
+}
+
+FrameSubset
+buildFrameSubset(const Trace &trace, const Frame &frame,
+                 const DrawSubsetConfig &config)
+{
+    GWS_ASSERT(frame.drawCount() > 0, "cannot subset an empty frame");
+
+    const FeatureExtractor extractor(trace);
+    const auto raw = extractor.extractFrame(frame);
+    const Normalizer norm = Normalizer::fit(raw);
+    const auto points = norm.applyAll(raw);
+
+    FrameSubset out;
+    if (config.algo == ClusterAlgo::Leader) {
+        out.clustering = leaderCluster(points, config.leader);
+    } else {
+        out.clustering = selectK(points, config.kselect).clustering;
+    }
+
+    out.workUnits.reserve(frame.drawCount());
+    for (const auto &draw : frame.draws())
+        out.workUnits.push_back(drawWorkUnits(trace, draw));
+    return out;
+}
+
+} // namespace gws

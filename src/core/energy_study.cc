@@ -1,0 +1,121 @@
+#include "core/energy_study.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gws {
+
+bool
+DvfsResult::optimumWithinOneStep() const
+{
+    const std::size_t lo = std::min(parentOptimal, subsetOptimal);
+    const std::size_t hi = std::max(parentOptimal, subsetOptimal);
+    return hi - lo <= 1;
+}
+
+DvfsResult
+runDvfsStudy(const Trace &trace, const WorkloadSubset &subset,
+             const GpuConfig &base, const DvfsConfig &config)
+{
+    GWS_ASSERT(!config.scales.empty(), "empty DVFS sweep");
+    config.power.validate();
+
+    // --- one traffic pass over the parent --------------------------------
+    const GpuSimulator base_sim(base);
+    std::vector<DrawWork> parent_works;
+    parent_works.reserve(trace.totalDraws());
+    double parent_dram = 0.0;
+    for (const auto &frame : trace.frames()) {
+        for (const auto &draw : frame.draws()) {
+            parent_works.push_back(base_sim.computeDrawWork(trace, draw));
+            parent_dram += parent_works.back().traffic.totalDramBytes();
+        }
+    }
+
+    // --- one traffic pass over the subset representatives -----------------
+    struct UnitWork
+    {
+        std::vector<DrawWork> repWorks;
+        const SubsetUnit *unit;
+        double dramBytes = 0.0; // predicted for the whole frame
+    };
+    std::vector<UnitWork> unit_works;
+    double subset_dram = 0.0;
+    for (const auto &unit : subset.units) {
+        UnitWork uw;
+        uw.unit = &unit;
+        const Frame &frame = trace.frame(unit.frameIndex);
+        const Clustering &c = unit.frameSubset.clustering;
+        std::vector<double> rep_dram(c.k, 0.0);
+        for (std::size_t cl = 0; cl < c.k; ++cl) {
+            uw.repWorks.push_back(base_sim.computeDrawWork(
+                trace, frame.draws()[c.representatives[cl]]));
+            rep_dram[cl] = uw.repWorks.back().traffic.totalDramBytes();
+        }
+        // Expand per-draw DRAM traffic the same way costs expand.
+        const auto predicted = predictItemCosts(
+            c, rep_dram, subset.prediction, unit.frameSubset.workUnits);
+        for (double bytes : predicted)
+            uw.dramBytes += bytes;
+        subset_dram += unit.frameWeight * uw.dramBytes;
+        unit_works.push_back(std::move(uw));
+    }
+
+    // --- sweep -------------------------------------------------------------
+    DvfsResult result;
+    std::vector<double> parent_energy, subset_energy;
+    std::vector<double> parent_edp, subset_edp;
+    for (double scale : config.scales) {
+        const GpuConfig cfg = base.withCoreClockScale(scale);
+        const GpuSimulator sim(cfg);
+        const double overhead = cfg.frameOverheadUs * 1e3;
+
+        double parent_ns =
+            overhead * static_cast<double>(trace.frameCount());
+        for (const auto &w : parent_works)
+            parent_ns += sim.timeDrawWork(w).totalNs;
+
+        double subset_ns = 0.0;
+        for (const auto &uw : unit_works) {
+            std::vector<double> rep_costs;
+            rep_costs.reserve(uw.repWorks.size());
+            for (const auto &w : uw.repWorks)
+                rep_costs.push_back(sim.timeDrawWork(w).totalNs);
+            const auto predicted = predictItemCosts(
+                uw.unit->frameSubset.clustering, rep_costs,
+                subset.prediction, uw.unit->frameSubset.workUnits);
+            double frame_ns = overhead;
+            for (double ns : predicted)
+                frame_ns += ns;
+            subset_ns += uw.unit->frameWeight * frame_ns;
+        }
+
+        DvfsPoint point;
+        point.scale = scale;
+        point.parent = estimateEnergy({parent_ns, parent_dram}, cfg,
+                                      config.power);
+        point.subset = estimateEnergy({subset_ns, subset_dram}, cfg,
+                                      config.power);
+        parent_energy.push_back(point.parent.totalJ());
+        subset_energy.push_back(point.subset.totalJ());
+        parent_edp.push_back(point.parent.energyDelay());
+        subset_edp.push_back(point.subset.energyDelay());
+        result.points.push_back(point);
+    }
+
+    for (std::size_t i = 1; i < result.points.size(); ++i) {
+        if (parent_edp[i] < parent_edp[result.parentOptimal])
+            result.parentOptimal = i;
+        if (subset_edp[i] < subset_edp[result.subsetOptimal])
+            result.subsetOptimal = i;
+    }
+    if (result.points.size() >= 2) {
+        result.energyCorrelation = pearson(parent_energy, subset_energy);
+        result.edpCorrelation = pearson(parent_edp, subset_edp);
+    }
+    return result;
+}
+
+} // namespace gws

@@ -1,0 +1,100 @@
+#include "core/freq_scaling.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gws {
+
+FreqScalingResult
+runFreqScaling(const Trace &trace, const WorkloadSubset &subset,
+               const GpuConfig &base, const FreqScalingConfig &config)
+{
+    GWS_ASSERT(!config.scales.empty(), "empty clock sweep");
+    GWS_ASSERT(config.baselineIndex < config.scales.size(),
+               "baseline index out of range");
+
+    FreqScalingResult result;
+    result.scales = config.scales;
+
+    // --- one traffic pass over the parent --------------------------------
+    const GpuSimulator base_sim(base);
+    std::vector<std::vector<DrawWork>> parent_works;
+    parent_works.reserve(trace.frameCount());
+    for (const auto &frame : trace.frames()) {
+        std::vector<DrawWork> works;
+        works.reserve(frame.drawCount());
+        for (const auto &draw : frame.draws())
+            works.push_back(base_sim.computeDrawWork(trace, draw));
+        parent_works.push_back(std::move(works));
+    }
+
+    // --- one traffic pass over the subset representatives ----------------
+    struct UnitWork
+    {
+        std::vector<DrawWork> repWorks; // one per cluster
+        const SubsetUnit *unit;
+    };
+    std::vector<UnitWork> unit_works;
+    for (const auto &unit : subset.units) {
+        UnitWork uw;
+        uw.unit = &unit;
+        const Frame &frame = trace.frame(unit.frameIndex);
+        for (std::size_t rep : unit.frameSubset.clustering.representatives)
+            uw.repWorks.push_back(
+                base_sim.computeDrawWork(trace, frame.draws()[rep]));
+        unit_works.push_back(std::move(uw));
+    }
+
+    // --- re-time per clock point ------------------------------------------
+    for (double scale : config.scales) {
+        const GpuSimulator sim(base.withCoreClockScale(scale));
+        const double overhead = sim.config().frameOverheadUs * 1e3;
+
+        double parent_total = 0.0;
+        for (const auto &works : parent_works) {
+            for (const auto &w : works)
+                parent_total += sim.timeDrawWork(w).totalNs;
+            parent_total += overhead;
+        }
+        result.parentNs.push_back(parent_total);
+
+        double subset_total = 0.0;
+        for (const auto &uw : unit_works) {
+            std::vector<double> rep_costs;
+            rep_costs.reserve(uw.repWorks.size());
+            for (const auto &w : uw.repWorks)
+                rep_costs.push_back(sim.timeDrawWork(w).totalNs);
+            const auto predicted = predictItemCosts(
+                uw.unit->frameSubset.clustering, rep_costs,
+                subset.prediction, uw.unit->frameSubset.workUnits);
+            double frame_ns = overhead;
+            for (double ns : predicted)
+                frame_ns += ns;
+            subset_total += uw.unit->frameWeight * frame_ns;
+        }
+        result.subsetNs.push_back(subset_total);
+    }
+
+    // --- improvement curves & correlation ----------------------------------
+    const double parent_base = result.parentNs[config.baselineIndex];
+    const double subset_base = result.subsetNs[config.baselineIndex];
+    GWS_ASSERT(parent_base > 0.0 && subset_base > 0.0,
+               "degenerate baseline cost");
+    for (std::size_t i = 0; i < config.scales.size(); ++i) {
+        result.parentImprovement.push_back(parent_base /
+                                           result.parentNs[i]);
+        result.subsetImprovement.push_back(subset_base /
+                                           result.subsetNs[i]);
+        result.maxImprovementGap = std::max(
+            result.maxImprovementGap,
+            std::fabs(result.parentImprovement.back() -
+                      result.subsetImprovement.back()));
+    }
+    result.correlation =
+        pearson(result.parentImprovement, result.subsetImprovement);
+    return result;
+}
+
+} // namespace gws

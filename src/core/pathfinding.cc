@@ -1,0 +1,70 @@
+#include "core/pathfinding.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gws {
+
+namespace {
+
+/** rank[i] = position of item i when sorted ascending by cost. */
+std::vector<std::size_t>
+rankOf(const std::vector<double> &costs)
+{
+    std::vector<std::size_t> order(costs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return costs[a] < costs[b];
+    });
+    std::vector<std::size_t> rank(costs.size());
+    for (std::size_t pos = 0; pos < order.size(); ++pos)
+        rank[order[pos]] = pos;
+    return rank;
+}
+
+} // namespace
+
+PathfindingResult
+runPathfinding(const Trace &trace, const WorkloadSubset &subset,
+               const std::vector<GpuConfig> &designs)
+{
+    GWS_ASSERT(designs.size() >= 2,
+               "pathfinding needs at least two design points");
+
+    PathfindingResult result;
+    std::vector<double> parent_costs, subset_costs;
+    for (const auto &design : designs) {
+        const GpuSimulator sim(design);
+        DesignPointScore score;
+        score.name = design.name;
+        score.parentNs = sim.simulateTrace(trace).totalNs;
+        score.subsetNs = subset.predictTotalNs(trace, sim);
+        parent_costs.push_back(score.parentNs);
+        subset_costs.push_back(score.subsetNs);
+        result.points.push_back(std::move(score));
+    }
+
+    for (auto &score : result.points) {
+        score.parentSpeedup = parent_costs[0] / score.parentNs;
+        score.subsetSpeedup = subset_costs[0] / score.subsetNs;
+    }
+
+    result.parentRanking = rankOf(parent_costs);
+    result.subsetRanking = rankOf(subset_costs);
+    result.rankingPreserved =
+        result.parentRanking == result.subsetRanking;
+
+    std::vector<double> parent_speedups, subset_speedups;
+    for (const auto &score : result.points) {
+        parent_speedups.push_back(score.parentSpeedup);
+        subset_speedups.push_back(score.subsetSpeedup);
+    }
+    result.speedupCorrelation = pearson(parent_speedups, subset_speedups);
+    result.rankCorrelation = spearman(parent_costs, subset_costs);
+    return result;
+}
+
+} // namespace gws

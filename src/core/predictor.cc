@@ -1,0 +1,106 @@
+#include "core/predictor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+double
+FramePredictionReport::relError() const
+{
+    if (actualNs <= 0.0)
+        return 0.0;
+    return std::fabs(predictedNs - actualNs) / actualNs;
+}
+
+double
+predictFrameNs(const Trace &trace, const Frame &frame,
+               const FrameSubset &subset, const GpuSimulator &simulator,
+               PredictionMode mode)
+{
+    const Clustering &c = subset.clustering;
+    GWS_ASSERT(c.items() == frame.drawCount(),
+               "subset does not match frame");
+    std::vector<double> rep_costs(c.k, 0.0);
+    for (std::size_t cl = 0; cl < c.k; ++cl) {
+        const DrawCall &rep = frame.draws()[c.representatives[cl]];
+        rep_costs[cl] = simulator.simulateDraw(trace, rep).totalNs;
+    }
+    const auto predicted =
+        predictItemCosts(c, rep_costs, mode, subset.workUnits);
+    double total = 0.0;
+    for (double ns : predicted)
+        total += ns;
+    return total + simulator.config().frameOverheadUs * 1e3;
+}
+
+FramePredictionReport
+evaluateFramePrediction(const Trace &trace, const Frame &frame,
+                        const GpuSimulator &simulator,
+                        const DrawSubsetConfig &config)
+{
+    const FrameSubset subset = buildFrameSubset(trace, frame, config);
+    const Clustering &c = subset.clustering;
+
+    FramePredictionReport report;
+    report.frameIndex = frame.index();
+    report.drawsTotal = frame.drawCount();
+    report.drawsSimulated = c.k;
+    report.efficiency = c.efficiency();
+
+    // Ground truth: full simulation of every draw.
+    std::vector<double> costs;
+    costs.reserve(frame.drawCount());
+    double actual = 0.0;
+    for (const auto &draw : frame.draws()) {
+        costs.push_back(simulator.simulateDraw(trace, draw).totalNs);
+        actual += costs.back();
+    }
+    const double overhead = simulator.config().frameOverheadUs * 1e3;
+    report.actualNs = actual + overhead;
+
+    // Prediction reuses the ground-truth costs of the representatives
+    // (identical to re-simulating them: the simulator is per-draw pure).
+    std::vector<double> rep_costs(c.k, 0.0);
+    for (std::size_t cl = 0; cl < c.k; ++cl)
+        rep_costs[cl] = costs[c.representatives[cl]];
+    const auto predicted = predictItemCosts(c, rep_costs,
+                                            config.prediction,
+                                            subset.workUnits);
+    double predicted_total = 0.0;
+    for (double ns : predicted)
+        predicted_total += ns;
+    report.predictedNs = predicted_total + overhead;
+
+    report.quality = assessClusterQuality(c, costs, config.prediction,
+                                          subset.workUnits);
+    return report;
+}
+
+double
+CorpusPredictionReport::outlierFraction() const
+{
+    if (clusters == 0)
+        return 0.0;
+    return static_cast<double>(outlierClusters) /
+           static_cast<double>(clusters);
+}
+
+void
+accumulate(CorpusPredictionReport &aggregate,
+           const FramePredictionReport &report)
+{
+    const double n = static_cast<double>(aggregate.frames);
+    aggregate.meanError =
+        (aggregate.meanError * n + report.relError()) / (n + 1.0);
+    aggregate.meanEfficiency =
+        (aggregate.meanEfficiency * n + report.efficiency) / (n + 1.0);
+    aggregate.maxError = std::max(aggregate.maxError, report.relError());
+    ++aggregate.frames;
+    aggregate.draws += report.drawsTotal;
+    aggregate.clusters += report.quality.intraError.size();
+    aggregate.outlierClusters += report.quality.outliers;
+}
+
+} // namespace gws

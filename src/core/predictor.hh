@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Frame-level performance prediction from draw-call subsets, and the
+ * evaluation harness that compares predictions against the full
+ * simulation (the paper's per-frame prediction error and clustering
+ * efficiency metrics).
+ */
+
+#ifndef GWS_CORE_PREDICTOR_HH
+#define GWS_CORE_PREDICTOR_HH
+
+#include "core/draw_subset.hh"
+#include "gpusim/gpu_simulator.hh"
+
+namespace gws {
+
+/**
+ * Predicted cost of one frame from its subset: simulate only the
+ * representatives, expand via the prediction mode, add the frame
+ * overhead. This is the production path — no full simulation.
+ */
+double predictFrameNs(const Trace &trace, const Frame &frame,
+                      const FrameSubset &subset,
+                      const GpuSimulator &simulator,
+                      PredictionMode mode);
+
+/** Evaluation of one frame's prediction against ground truth. */
+struct FramePredictionReport
+{
+    /** Frame index. */
+    std::uint32_t frameIndex = 0;
+
+    /** Fully-simulated frame time. */
+    double actualNs = 0.0;
+
+    /** Subset-predicted frame time. */
+    double predictedNs = 0.0;
+
+    /** Draws in the frame. */
+    std::size_t drawsTotal = 0;
+
+    /** Representatives simulated. */
+    std::size_t drawsSimulated = 0;
+
+    /** Clustering efficiency (1 - simulated/total). */
+    double efficiency = 0.0;
+
+    /** Cluster-quality metrics (intra errors, outliers). */
+    ClusterQuality quality;
+
+    /** |predicted - actual| / actual. */
+    double relError() const;
+};
+
+/**
+ * Fully evaluate one frame: build the subset, simulate everything,
+ * and report prediction error, efficiency, and cluster quality.
+ */
+FramePredictionReport
+evaluateFramePrediction(const Trace &trace, const Frame &frame,
+                        const GpuSimulator &simulator,
+                        const DrawSubsetConfig &config);
+
+/** Aggregate of per-frame reports (one corpus row of the paper). */
+struct CorpusPredictionReport
+{
+    /** Frames evaluated. */
+    std::size_t frames = 0;
+
+    /** Total draws across frames. */
+    std::uint64_t draws = 0;
+
+    /** Mean per-frame relative prediction error. */
+    double meanError = 0.0;
+
+    /** Worst per-frame relative prediction error. */
+    double maxError = 0.0;
+
+    /** Mean clustering efficiency. */
+    double meanEfficiency = 0.0;
+
+    /** Total clusters across frames. */
+    std::uint64_t clusters = 0;
+
+    /** Total outlier clusters across frames. */
+    std::uint64_t outlierClusters = 0;
+
+    /** Outlier clusters / clusters. */
+    double outlierFraction() const;
+};
+
+/** Fold one frame report into the aggregate. */
+void accumulate(CorpusPredictionReport &aggregate,
+                const FramePredictionReport &report);
+
+} // namespace gws
+
+#endif // GWS_CORE_PREDICTOR_HH

@@ -1,0 +1,402 @@
+#include "core/subset_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace gws {
+
+namespace {
+
+constexpr std::uint32_t subsetMagic = 0x53535747; // "GWSS" little-endian
+
+std::uint32_t
+checksum32(const std::string &payload)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+class Encoder
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.append(s);
+    }
+
+    const std::string &data() const { return buf; }
+
+  private:
+    std::string buf;
+};
+
+class Decoder
+{
+  public:
+    explicit Decoder(std::string data) : buf(std::move(data)) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(buf[pos++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(buf[pos++]))
+                 << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[pos++]))
+                 << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    bool exhausted() const { return pos == buf.size(); }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (pos + n > buf.size())
+            throw SubsetIoError("subset payload truncated at byte " +
+                                std::to_string(pos));
+    }
+
+    std::string buf;
+    std::size_t pos = 0;
+};
+
+void
+encodeClustering(Encoder &e, const Clustering &c)
+{
+    e.u32(static_cast<std::uint32_t>(c.k));
+    e.u32(static_cast<std::uint32_t>(c.assignment.size()));
+    for (std::uint32_t a : c.assignment)
+        e.u32(a);
+    for (std::size_t rep : c.representatives)
+        e.u32(static_cast<std::uint32_t>(rep));
+    for (const auto &centroid : c.centroids) {
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            e.f64(centroid.at(d));
+    }
+}
+
+Clustering
+decodeClustering(Decoder &dec)
+{
+    Clustering c;
+    c.k = dec.u32();
+    const std::uint32_t items = dec.u32();
+    c.assignment.reserve(items);
+    for (std::uint32_t i = 0; i < items; ++i)
+        c.assignment.push_back(dec.u32());
+    c.representatives.reserve(c.k);
+    for (std::size_t i = 0; i < c.k; ++i)
+        c.representatives.push_back(dec.u32());
+    c.centroids.resize(c.k);
+    for (std::size_t cl = 0; cl < c.k; ++cl) {
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            c.centroids[cl].at(d) = dec.f64();
+    }
+    if (items == 0 || c.k == 0 || c.k > items)
+        throw SubsetIoError("degenerate clustering in subset");
+    for (std::uint32_t a : c.assignment) {
+        if (a >= c.k)
+            throw SubsetIoError("clustering assignment out of range");
+    }
+    for (std::size_t rep : c.representatives) {
+        if (rep >= items)
+            throw SubsetIoError("clustering representative out of range");
+    }
+    return c;
+}
+
+void
+encodeTimeline(Encoder &e, const PhaseTimeline &tl)
+{
+    e.u32(tl.phaseCount);
+    e.u32(static_cast<std::uint32_t>(tl.intervals.size()));
+    for (const auto &iv : tl.intervals) {
+        e.u32(iv.beginFrame);
+        e.u32(iv.endFrame);
+        e.u32(iv.phaseId);
+        e.u32(static_cast<std::uint32_t>(iv.shaders.universe()));
+        const auto ids = iv.shaders.ids();
+        e.u32(static_cast<std::uint32_t>(ids.size()));
+        for (ShaderId id : ids)
+            e.u32(id);
+    }
+}
+
+PhaseTimeline
+decodeTimeline(Decoder &dec)
+{
+    PhaseTimeline tl;
+    tl.phaseCount = dec.u32();
+    const std::uint32_t n = dec.u32();
+    tl.phaseIntervals.resize(tl.phaseCount);
+    tl.representatives.assign(tl.phaseCount, SIZE_MAX);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Interval iv;
+        iv.beginFrame = dec.u32();
+        iv.endFrame = dec.u32();
+        iv.phaseId = dec.u32();
+        const std::uint32_t universe = dec.u32();
+        iv.shaders = ShaderVector(universe);
+        const std::uint32_t bits = dec.u32();
+        for (std::uint32_t b = 0; b < bits; ++b) {
+            const std::uint32_t id = dec.u32();
+            if (id >= universe)
+                throw SubsetIoError("shader id outside universe");
+            iv.shaders.set(id);
+        }
+        if (iv.phaseId >= tl.phaseCount)
+            throw SubsetIoError("interval phase id out of range");
+        if (iv.endFrame <= iv.beginFrame)
+            throw SubsetIoError("empty interval in timeline");
+        if (tl.representatives[iv.phaseId] == SIZE_MAX)
+            tl.representatives[iv.phaseId] = tl.intervals.size();
+        tl.phaseIntervals[iv.phaseId].push_back(tl.intervals.size());
+        tl.intervals.push_back(std::move(iv));
+    }
+    for (std::size_t rep : tl.representatives) {
+        if (rep == SIZE_MAX)
+            throw SubsetIoError("phase with no interval");
+    }
+    return tl;
+}
+
+std::string
+encodePayload(const WorkloadSubset &s)
+{
+    Encoder e;
+    e.str(s.parentName);
+    e.u8(static_cast<std::uint8_t>(s.prediction));
+    e.u64(s.parentFrames);
+    e.u64(s.parentDraws);
+    encodeTimeline(e, s.timeline);
+    e.u32(static_cast<std::uint32_t>(s.units.size()));
+    for (const auto &u : s.units) {
+        e.u32(u.phaseId);
+        e.u32(u.frameIndex);
+        e.f64(u.frameWeight);
+        encodeClustering(e, u.frameSubset.clustering);
+        e.u32(static_cast<std::uint32_t>(u.frameSubset.workUnits.size()));
+        for (double w : u.frameSubset.workUnits)
+            e.f64(w);
+    }
+    e.u32(static_cast<std::uint32_t>(s.unitsOfPhase.size()));
+    for (const auto &group : s.unitsOfPhase) {
+        e.u32(static_cast<std::uint32_t>(group.size()));
+        for (std::size_t idx : group)
+            e.u32(static_cast<std::uint32_t>(idx));
+    }
+    return e.data();
+}
+
+WorkloadSubset
+decodePayload(const std::string &payload)
+{
+    Decoder dec(payload);
+    WorkloadSubset s;
+    s.parentName = dec.str();
+    const std::uint8_t mode = dec.u8();
+    if (mode > static_cast<std::uint8_t>(PredictionMode::WorkScaled))
+        throw SubsetIoError("invalid prediction mode");
+    s.prediction = static_cast<PredictionMode>(mode);
+    s.parentFrames = dec.u64();
+    s.parentDraws = dec.u64();
+    s.timeline = decodeTimeline(dec);
+    const std::uint32_t n_units = dec.u32();
+    for (std::uint32_t i = 0; i < n_units; ++i) {
+        SubsetUnit u;
+        u.phaseId = dec.u32();
+        u.frameIndex = dec.u32();
+        u.frameWeight = dec.f64();
+        u.frameSubset.clustering = decodeClustering(dec);
+        const std::uint32_t n_work = dec.u32();
+        if (n_work != u.frameSubset.clustering.items())
+            throw SubsetIoError("work-unit count does not match "
+                                "clustering");
+        u.frameSubset.workUnits.reserve(n_work);
+        for (std::uint32_t w = 0; w < n_work; ++w)
+            u.frameSubset.workUnits.push_back(dec.f64());
+        if (u.phaseId >= s.timeline.phaseCount)
+            throw SubsetIoError("unit phase id out of range");
+        if (u.frameIndex >= s.parentFrames)
+            throw SubsetIoError("unit frame index out of range");
+        s.units.push_back(std::move(u));
+    }
+    const std::uint32_t n_groups = dec.u32();
+    s.unitsOfPhase.resize(n_groups);
+    for (std::uint32_t g = 0; g < n_groups; ++g) {
+        const std::uint32_t n = dec.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t idx = dec.u32();
+            if (idx >= s.units.size())
+                throw SubsetIoError("unit group index out of range");
+            s.unitsOfPhase[g].push_back(idx);
+        }
+    }
+    if (!dec.exhausted())
+        throw SubsetIoError("trailing bytes after subset payload");
+    return s;
+}
+
+} // namespace
+
+void
+writeSubset(const WorkloadSubset &subset, std::ostream &os)
+{
+    const std::string payload = encodePayload(subset);
+    Encoder header;
+    header.u32(subsetMagic);
+    header.u32(subsetFormatVersion);
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    header.u32(checksum32(payload));
+    os.write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        throw SubsetIoError("stream write failed for subset of '" +
+                            subset.parentName + "'");
+}
+
+void
+writeSubsetFile(const WorkloadSubset &subset, const std::string &path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw SubsetIoError("cannot open '" + path + "' for writing");
+    writeSubset(subset, ofs);
+}
+
+WorkloadSubset
+readSubset(std::istream &is)
+{
+    char raw_header[16];
+    is.read(raw_header, sizeof(raw_header));
+    if (is.gcount() != sizeof(raw_header))
+        throw SubsetIoError("subset header truncated");
+    Decoder header(std::string(raw_header, sizeof(raw_header)));
+    if (header.u32() != subsetMagic)
+        throw SubsetIoError("bad magic: not a gws subset");
+    const std::uint32_t version = header.u32();
+    if (version != subsetFormatVersion)
+        throw SubsetIoError("unsupported subset format version " +
+                            std::to_string(version));
+    const std::uint32_t size = header.u32();
+    const std::uint32_t expect_sum = header.u32();
+
+    std::string payload(size, '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::uint32_t>(is.gcount()) != size)
+        throw SubsetIoError("subset payload truncated");
+    if (checksum32(payload) != expect_sum)
+        throw SubsetIoError("subset checksum mismatch (corrupt file)");
+    return decodePayload(payload);
+}
+
+WorkloadSubset
+readSubsetFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        throw SubsetIoError("cannot open '" + path + "' for reading");
+    return readSubset(ifs);
+}
+
+void
+checkSubsetAgainst(const WorkloadSubset &subset, const Trace &parent)
+{
+    if (subset.parentName != parent.name())
+        throw SubsetIoError("subset was built from '" +
+                            subset.parentName + "', not '" +
+                            parent.name() + "'");
+    if (subset.parentFrames != parent.frameCount())
+        throw SubsetIoError("parent frame count changed");
+    if (subset.parentDraws != parent.totalDraws())
+        throw SubsetIoError("parent draw count changed");
+    for (const auto &u : subset.units) {
+        if (u.frameIndex >= parent.frameCount())
+            throw SubsetIoError("unit frame index out of range");
+        if (u.frameSubset.clustering.items() !=
+            parent.frame(u.frameIndex).drawCount()) {
+            throw SubsetIoError(
+                "unit clustering does not match parent frame " +
+                std::to_string(u.frameIndex));
+        }
+    }
+}
+
+} // namespace gws

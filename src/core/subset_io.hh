@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Serialization of workload subsets. A subset is the artifact a
+ * pathfinding team distributes: for each phase, the representative
+ * frame indices into the parent trace, per-frame clusterings, and
+ * weights — everything needed to price the parent on any architecture
+ * without redoing phase detection or clustering. Same framing
+ * (magic, version, size, checksum) as the trace format.
+ */
+
+#ifndef GWS_CORE_SUBSET_IO_HH
+#define GWS_CORE_SUBSET_IO_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/subset_pipeline.hh"
+
+namespace gws {
+
+/** Error thrown when a subset stream or file cannot be decoded. */
+class SubsetIoError : public std::runtime_error
+{
+  public:
+    explicit SubsetIoError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Current subset serialization format version. */
+constexpr std::uint32_t subsetFormatVersion = 1;
+
+/** Serialize a subset to a binary stream. */
+void writeSubset(const WorkloadSubset &subset, std::ostream &os);
+
+/** Serialize a subset to a file; throws SubsetIoError if unwritable. */
+void writeSubsetFile(const WorkloadSubset &subset,
+                     const std::string &path);
+
+/** Deserialize a subset; throws SubsetIoError on malformed input. */
+WorkloadSubset readSubset(std::istream &is);
+
+/** Deserialize a subset from a file; throws SubsetIoError. */
+WorkloadSubset readSubsetFile(const std::string &path);
+
+/**
+ * Cross-check a loaded subset against the parent trace it claims to
+ * represent: name, frame/draw totals, frame indices in range, and
+ * per-unit clustering sizes matching the referenced frames. Throws
+ * SubsetIoError on the first mismatch (user error: wrong pairing).
+ */
+void checkSubsetAgainst(const WorkloadSubset &subset, const Trace &parent);
+
+} // namespace gws
+
+#endif // GWS_CORE_SUBSET_IO_HH

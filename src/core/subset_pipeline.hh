@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The end-to-end workload subsetting pipeline — the paper's headline
+ * contribution. Phase detection picks one representative interval per
+ * phase; within it one representative frame; within that frame the
+ * draw-call clustering picks representative draws. The resulting
+ * WorkloadSubset is typically well under 1 % of the parent workload's
+ * draws yet reconstructs the parent's total cost (and its response to
+ * architecture changes) through its weights.
+ */
+
+#ifndef GWS_CORE_SUBSET_PIPELINE_HH
+#define GWS_CORE_SUBSET_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/draw_subset.hh"
+#include "core/predictor.hh"
+#include "phase/feature_phases.hh"
+#include "phase/phase_detect.hh"
+
+namespace gws {
+
+/** How frame intervals are grouped into phases. */
+enum class PhaseMethod : std::uint8_t
+{
+    /** Shader-vector equality (the paper's technique). */
+    ShaderVector = 0,
+
+    /** SimPoint-style interval feature clustering (prior art). */
+    FeatureCluster = 1,
+};
+
+/** Printable method name. */
+const char *toString(PhaseMethod method);
+
+/** Pipeline configuration: phase layer + draw layer. */
+struct SubsetConfig
+{
+    /** Interval-grouping technique. */
+    PhaseMethod phaseMethod = PhaseMethod::ShaderVector;
+
+    /** Phase-detection parameters (ShaderVector method). */
+    PhaseConfig phase;
+
+    /** Phase-detection parameters (FeatureCluster method). */
+    FeaturePhaseConfig featurePhase;
+
+    /** Per-frame draw clustering parameters. */
+    DrawSubsetConfig draws;
+
+    /**
+     * Representative frames sampled per selected interval (spread
+     * evenly across it, clamped to its length). 1 reproduces the
+     * paper; larger values trade subset size for lower total-time
+     * error by averaging out intra-interval variation (camera swings)
+     * — see the frames-per-phase ablation bench.
+     */
+    std::uint32_t framesPerPhase = 1;
+
+    /**
+     * Occurrences sampled per phase (spread evenly across the phase's
+     * occurrence list, clamped to its occurrence count). 1 reproduces
+     * the paper (first occurrence only); larger values average out
+     * *inter-occurrence* drift — revisits of an environment differ in
+     * camera state from the first visit — which the F10 ablation
+     * shows is the dominant residual at full scale.
+     */
+    std::uint32_t occurrencesPerPhase = 1;
+};
+
+/** One weighted representative frame of a workload subset. */
+struct SubsetUnit
+{
+    /** Phase this unit represents. */
+    std::uint32_t phaseId = 0;
+
+    /** Representative frame index in the parent trace. */
+    std::uint32_t frameIndex = 0;
+
+    /** Parent frames this unit stands for (its weight). */
+    double frameWeight = 1.0;
+
+    /** Draw-level subset of the representative frame. */
+    FrameSubset frameSubset;
+};
+
+/** A workload subset with everything needed to price it. */
+struct WorkloadSubset
+{
+    /** Parent trace name. */
+    std::string parentName;
+
+    /** Prediction mode the subset was built for. */
+    PredictionMode prediction = PredictionMode::Uniform;
+
+    /** Weighted representative frames, one per phase. */
+    std::vector<SubsetUnit> units;
+
+    /** Parent totals for bookkeeping. */
+    std::uint64_t parentFrames = 0;
+    std::uint64_t parentDraws = 0;
+
+    /** The phase timeline the subset was derived from. */
+    PhaseTimeline timeline;
+
+    /** Units grouped by phase id (indices into units). */
+    std::vector<std::vector<std::size_t>> unitsOfPhase;
+
+    /** Draws that must be simulated to price the subset. */
+    std::uint64_t subsetDraws() const;
+
+    /** subsetDraws / parentDraws — the paper's "< 1 %" metric. */
+    double drawFraction() const;
+
+    /** Sum of unit weights (should cover every parent frame). */
+    double totalFrameWeight() const;
+
+    /**
+     * Predicted total cost of the parent workload: each unit's
+     * predicted frame cost times its weight. Simulates only the
+     * representative draws.
+     */
+    double predictTotalNs(const Trace &parent,
+                          const GpuSimulator &simulator) const;
+};
+
+/** Build the subset of a trace. */
+WorkloadSubset buildWorkloadSubset(const Trace &trace,
+                                   const SubsetConfig &config);
+
+/** Evaluation of a subset against the fully-simulated parent. */
+struct SubsetEvaluation
+{
+    /** Fully-simulated parent cost. */
+    double parentNs = 0.0;
+
+    /** Subset-predicted parent cost. */
+    double predictedNs = 0.0;
+
+    /** |predicted - parent| / parent. */
+    double relError() const;
+};
+
+/** Price the parent both ways and report the error. */
+SubsetEvaluation evaluateSubset(const Trace &trace,
+                                const WorkloadSubset &subset,
+                                const GpuSimulator &simulator);
+
+} // namespace gws
+
+#endif // GWS_CORE_SUBSET_PIPELINE_HH

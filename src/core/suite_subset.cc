@@ -1,0 +1,159 @@
+#include "core/suite_subset.hh"
+
+#include <cmath>
+#include <set>
+
+#include "cluster/leader.hh"
+#include "features/extractor.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+double
+SuiteSubset::frameFraction() const
+{
+    if (corpusFrames == 0)
+        return 0.0;
+    return static_cast<double>(frames.size()) /
+           static_cast<double>(corpusFrames);
+}
+
+double
+SuiteSubset::totalWeight() const
+{
+    double w = 0.0;
+    for (const auto &f : frames)
+        w += f.weight;
+    return w;
+}
+
+FeatureVector
+frameDescriptor(const Trace &trace, const Frame &frame)
+{
+    const FeatureExtractor extractor(trace);
+    FeatureVector f;
+    double draws = 0.0, vertices = 0.0, prims = 0.0, pixels = 0.0;
+    double vs_ops = 0.0, ps_ops = 0.0, tex_samples = 0.0;
+    double vertex_bytes = 0.0, tex_bytes = 0.0;
+    double overdraw_w = 0.0, locality_w = 0.0, ops_pp_w = 0.0;
+    double blend_draws = 0.0, depth_write_draws = 0.0;
+
+    for (const auto &d : frame.draws()) {
+        const auto &vs = trace.shaders().get(d.state.vertexShader);
+        const auto &ps = trace.shaders().get(d.state.pixelShader);
+        const auto px = static_cast<double>(d.shadedPixels);
+        draws += 1.0;
+        vertices += static_cast<double>(d.vertices());
+        prims += static_cast<double>(d.primitives());
+        pixels += px;
+        vs_ops += static_cast<double>(d.vertices()) *
+                  static_cast<double>(vs.mix().totalOps());
+        ps_ops += px * static_cast<double>(ps.mix().totalOps());
+        tex_samples += px * static_cast<double>(ps.mix().texOps);
+        vertex_bytes += static_cast<double>(d.vertexFetchBytes());
+        for (TextureId id : d.state.textures)
+            tex_bytes += static_cast<double>(
+                trace.texture(id).sizeBytes());
+        overdraw_w += d.overdraw * px;
+        locality_w += d.texLocality * px;
+        ops_pp_w += static_cast<double>(ps.mix().arithmeticOps()) * px;
+        blend_draws += d.state.blendEnabled ? 1.0 : 0.0;
+        depth_write_draws += d.state.depthWriteEnabled ? 1.0 : 0.0;
+    }
+
+    f[FeatureDim::LogVertices] = std::log1p(vertices);
+    f[FeatureDim::LogPrimitives] = std::log1p(prims);
+    f[FeatureDim::LogPixels] = std::log1p(pixels);
+    f[FeatureDim::LogVsOps] = std::log1p(vs_ops);
+    f[FeatureDim::LogPsOps] = std::log1p(ps_ops);
+    f[FeatureDim::LogTexSamples] = std::log1p(tex_samples);
+    f[FeatureDim::LogTexFootprint] = std::log1p(tex_bytes);
+    f[FeatureDim::LogVertexBytes] = std::log1p(vertex_bytes);
+    f[FeatureDim::LogRtBytes] = std::log1p(draws); // log draw count
+    if (pixels > 0.0) {
+        f[FeatureDim::PsOpsPerPixel] = ops_pp_w / pixels;
+        f[FeatureDim::Overdraw] = overdraw_w / pixels;
+        f[FeatureDim::TexLocality] = locality_w / pixels;
+    }
+    if (draws > 0.0) {
+        f[FeatureDim::BlendFlag] = blend_draws / draws;
+        f[FeatureDim::DepthWriteFlag] = depth_write_draws / draws;
+    }
+    f[FeatureDim::TexPerPixel] =
+        pixels > 0.0 ? tex_samples / pixels : 0.0;
+    return f;
+}
+
+SuiteSubset
+buildSuiteSubset(const std::vector<Trace> &suite,
+                 const std::vector<CorpusFrame> &corpus,
+                 const SuiteSubsetConfig &config)
+{
+    GWS_ASSERT(!corpus.empty(), "suite subsetting over an empty corpus");
+    GWS_ASSERT(config.radius >= 0.0, "negative radius");
+
+    std::vector<FeatureVector> descriptors;
+    descriptors.reserve(corpus.size());
+    for (const auto &cf : corpus) {
+        GWS_ASSERT(cf.traceIndex < suite.size(), "corpus trace index");
+        descriptors.push_back(frameDescriptor(
+            suite[cf.traceIndex],
+            suite[cf.traceIndex].frame(cf.frameIndex)));
+    }
+    const Normalizer norm = Normalizer::fit(descriptors);
+    LeaderConfig lc;
+    lc.radius = config.radius;
+    const Clustering clusters =
+        leaderCluster(norm.applyAll(descriptors), lc);
+
+    SuiteSubset subset;
+    subset.corpusFrames = corpus.size();
+    subset.assignment = clusters.assignment;
+    const auto sizes = clusters.sizes();
+    for (std::size_t c = 0; c < clusters.k; ++c) {
+        const CorpusFrame &rep = corpus[clusters.representatives[c]];
+        subset.frames.push_back({rep.traceIndex, rep.frameIndex,
+                                 static_cast<double>(sizes[c])});
+        std::set<std::size_t> games;
+        for (std::size_t i : clusters.members(c))
+            games.insert(corpus[i].traceIndex);
+        if (games.size() > 1)
+            ++subset.crossGameClusters;
+    }
+    return subset;
+}
+
+double
+measureCorpusNs(const std::vector<Trace> &suite,
+                const std::vector<CorpusFrame> &corpus,
+                const GpuSimulator &simulator)
+{
+    double total = 0.0;
+    for (const auto &cf : corpus) {
+        total += simulator
+                     .simulateFrame(suite[cf.traceIndex],
+                                    suite[cf.traceIndex].frame(
+                                        cf.frameIndex))
+                     .totalNs;
+    }
+    return total;
+}
+
+double
+predictCorpusNs(const std::vector<Trace> &suite, const SuiteSubset &subset,
+                const GpuSimulator &simulator)
+{
+    double total = 0.0;
+    for (const auto &ref : subset.frames) {
+        GWS_ASSERT(ref.traceIndex < suite.size(), "subset trace index");
+        total += ref.weight *
+                 simulator
+                     .simulateFrame(suite[ref.traceIndex],
+                                    suite[ref.traceIndex].frame(
+                                        ref.frameIndex))
+                     .totalNs;
+    }
+    return total;
+}
+
+} // namespace gws

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Suite-level (cross-workload) subsetting — an extension aimed at the
+ * paper's opening motivation: pathfinding suffers from an explosion in
+ * the *number* of workloads, not just their length. Beyond subsetting
+ * each game, the corpus itself is redundant: different games render
+ * frames with similar aggregate behavior. This module characterizes
+ * whole frames by micro-architecture-independent totals, clusters them
+ * across the entire suite, and keeps one representative frame per
+ * cluster — so a pathfinding sweep prices a handful of frames instead
+ * of the whole corpus.
+ */
+
+#ifndef GWS_CORE_SUITE_SUBSET_HH
+#define GWS_CORE_SUITE_SUBSET_HH
+
+#include "features/feature_vector.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "synth/suite.hh"
+
+namespace gws {
+
+/** Suite-subsetting parameters. */
+struct SuiteSubsetConfig
+{
+    /** Leader radius over normalized frame descriptors. */
+    double radius = 1.0;
+};
+
+/** One representative frame of a suite subset. */
+struct SuiteFrameRef
+{
+    /** Trace the frame lives in. */
+    std::size_t traceIndex = 0;
+
+    /** Frame index within that trace. */
+    std::uint32_t frameIndex = 0;
+
+    /** Corpus frames this representative stands for. */
+    double weight = 1.0;
+};
+
+/** A cross-workload frame subset. */
+struct SuiteSubset
+{
+    /** Representative frames with weights. */
+    std::vector<SuiteFrameRef> frames;
+
+    /** Corpus frames the subset was built from. */
+    std::size_t corpusFrames = 0;
+
+    /** Frame id -> cluster id over the corpus (corpus order). */
+    std::vector<std::uint32_t> assignment;
+
+    /** Clusters whose members span more than one game. */
+    std::size_t crossGameClusters = 0;
+
+    /** Representative frames / corpus frames. */
+    double frameFraction() const;
+
+    /** Sum of weights (equals corpusFrames). */
+    double totalWeight() const;
+};
+
+/**
+ * Frame descriptor: log-scaled micro-architecture-independent totals
+ * (draws, vertices, pixels, shader ops, texture samples, bytes) plus
+ * coverage-weighted means (ops/pixel, overdraw, locality, blend
+ * fraction). Reuses the FeatureVector container; dimensions hold
+ * frame-level aggregates rather than per-draw values.
+ */
+FeatureVector frameDescriptor(const Trace &trace, const Frame &frame);
+
+/**
+ * Build a suite subset over the given corpus frames. Deterministic;
+ * representatives are chosen nearest each cluster centroid.
+ */
+SuiteSubset buildSuiteSubset(const std::vector<Trace> &suite,
+                             const std::vector<CorpusFrame> &corpus,
+                             const SuiteSubsetConfig &config);
+
+/** Fully-simulated total cost of the corpus frames. */
+double measureCorpusNs(const std::vector<Trace> &suite,
+                       const std::vector<CorpusFrame> &corpus,
+                       const GpuSimulator &simulator);
+
+/**
+ * Subset-predicted total cost of the corpus: weighted sum of fully
+ * simulated representative frames.
+ */
+double predictCorpusNs(const std::vector<Trace> &suite,
+                       const SuiteSubset &subset,
+                       const GpuSimulator &simulator);
+
+} // namespace gws
+
+#endif // GWS_CORE_SUITE_SUBSET_HH

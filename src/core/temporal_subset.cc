@@ -1,0 +1,107 @@
+#include "core/temporal_subset.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "features/extractor.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace gws {
+
+double
+TemporalReport::efficiency() const
+{
+    if (draws == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(clusters) /
+                     static_cast<double>(draws);
+}
+
+double
+TemporalReport::meanFrameError() const
+{
+    return mean(frameErrors);
+}
+
+double
+TemporalReport::maxFrameError() const
+{
+    double worst = 0.0;
+    for (double e : frameErrors)
+        worst = std::max(worst, e);
+    return worst;
+}
+
+TemporalReport
+runTemporalSubsetting(const Trace &trace, const GpuSimulator &simulator,
+                      const TemporalSubsetConfig &config)
+{
+    GWS_ASSERT(trace.frameCount() > 0,
+               "temporal subsetting on an empty trace");
+    GWS_ASSERT(config.radius >= 0.0, "negative radius");
+    const double r2 = config.radius * config.radius;
+
+    const std::uint64_t n_frames =
+        config.maxFrames == 0
+            ? trace.frameCount()
+            : std::min<std::uint64_t>(config.maxFrames,
+                                      trace.frameCount());
+
+    const FeatureExtractor extractor(trace);
+    // Fit the normalizer once so feature-space distances mean the
+    // same thing in every frame of the playthrough.
+    const Normalizer norm =
+        Normalizer::fit(extractor.extractFrame(trace.frame(0)));
+
+    struct Leader
+    {
+        FeatureVector center;
+        double costNs; // simulated once, in the founding frame
+    };
+    std::vector<Leader> leaders;
+
+    TemporalReport report;
+    const double overhead = simulator.config().frameOverheadUs * 1e3;
+    for (std::uint64_t fi = 0; fi < n_frames; ++fi) {
+        const Frame &frame = trace.frame(fi);
+        std::uint64_t founded = 0;
+        double predicted = overhead;
+        double actual = overhead;
+        for (const auto &draw : frame.draws()) {
+            const FeatureVector point =
+                norm.apply(extractor.extract(draw));
+            double best_d = std::numeric_limits<double>::infinity();
+            std::size_t best = SIZE_MAX;
+            for (std::size_t l = 0; l < leaders.size(); ++l) {
+                const double d =
+                    point.squaredDistance(leaders[l].center);
+                if (d < best_d) {
+                    best_d = d;
+                    best = l;
+                }
+            }
+            const double true_cost =
+                simulator.simulateDraw(trace, draw).totalNs;
+            actual += true_cost;
+            if (best != SIZE_MAX && best_d <= r2) {
+                predicted += leaders[best].costNs;
+            } else {
+                // Founding draw: it is the representative, so its
+                // (single) simulation is also its prediction.
+                leaders.push_back({point, true_cost});
+                predicted += true_cost;
+                ++founded;
+            }
+            ++report.draws;
+        }
+        report.clusters += founded;
+        report.newClustersPerFrame.push_back(founded);
+        report.frameErrors.push_back(
+            actual > 0.0 ? std::fabs(predicted - actual) / actual : 0.0);
+        ++report.frames;
+    }
+    return report;
+}
+
+} // namespace gws

@@ -1,0 +1,112 @@
+#include "features/extractor.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+FeatureVector
+FeatureExtractor::extract(const DrawCall &draw) const
+{
+    const auto &vs = trace.shaders().get(draw.state.vertexShader);
+    const auto &ps = trace.shaders().get(draw.state.pixelShader);
+
+    const auto vertices = static_cast<double>(draw.vertices());
+    const auto prims = static_cast<double>(draw.primitives());
+    const auto pixels = static_cast<double>(draw.shadedPixels);
+
+    std::uint64_t tex_bytes = 0;
+    for (TextureId id : draw.state.textures)
+        tex_bytes += trace.texture(id).sizeBytes();
+
+    const auto &rt = trace.renderTarget(draw.state.renderTarget);
+    double rt_bytes = pixels * rt.bytesPerPixel *
+                      (draw.state.blendEnabled ? 2.0 : 1.0);
+    if (draw.state.depthTestEnabled)
+        rt_bytes += pixels * 4.0;
+    if (draw.state.depthWriteEnabled)
+        rt_bytes += static_cast<double>(draw.coveredPixels()) * 4.0;
+
+    FeatureVector f;
+    f[FeatureDim::LogVertices] = std::log1p(vertices);
+    f[FeatureDim::LogPrimitives] = std::log1p(prims);
+    f[FeatureDim::LogPixels] = std::log1p(pixels);
+    f[FeatureDim::LogVsOps] = std::log1p(
+        vertices * static_cast<double>(vs.mix().totalOps()));
+    f[FeatureDim::LogPsOps] = std::log1p(
+        pixels * static_cast<double>(ps.mix().totalOps()));
+    f[FeatureDim::LogTexSamples] = std::log1p(
+        pixels * static_cast<double>(ps.mix().texOps));
+    f[FeatureDim::LogTexFootprint] = std::log1p(
+        static_cast<double>(tex_bytes));
+    f[FeatureDim::LogVertexBytes] = std::log1p(
+        static_cast<double>(draw.vertexFetchBytes()));
+    f[FeatureDim::LogRtBytes] = std::log1p(rt_bytes);
+    f[FeatureDim::PsOpsPerPixel] = static_cast<double>(
+        ps.mix().arithmeticOps());
+    f[FeatureDim::TexPerPixel] = static_cast<double>(ps.mix().texOps);
+    f[FeatureDim::Overdraw] = draw.overdraw;
+    f[FeatureDim::TexLocality] = draw.texLocality;
+    f[FeatureDim::BlendFlag] = draw.state.blendEnabled ? 1.0 : 0.0;
+    f[FeatureDim::DepthWriteFlag] = draw.state.depthWriteEnabled ? 1.0
+                                                                 : 0.0;
+    return f;
+}
+
+std::vector<FeatureVector>
+FeatureExtractor::extractFrame(const Frame &frame) const
+{
+    std::vector<FeatureVector> out;
+    out.reserve(frame.drawCount());
+    for (const auto &draw : frame.draws())
+        out.push_back(extract(draw));
+    return out;
+}
+
+Normalizer
+Normalizer::fit(const std::vector<FeatureVector> &sample)
+{
+    GWS_ASSERT(!sample.empty(), "cannot fit a normalizer on no samples");
+    Normalizer n;
+    const double count = static_cast<double>(sample.size());
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        double sum = 0.0;
+        for (const auto &v : sample)
+            sum += v.at(d);
+        n.means[d] = sum / count;
+        double var = 0.0;
+        for (const auto &v : sample) {
+            const double delta = v.at(d) - n.means[d];
+            var += delta * delta;
+        }
+        n.stddevs[d] = std::sqrt(var / count);
+    }
+    return n;
+}
+
+FeatureVector
+Normalizer::apply(const FeatureVector &v) const
+{
+    FeatureVector out;
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        // Degenerate (constant) dimensions carry no information for
+        // this sample; map them to 0 instead of dividing by ~0.
+        out.at(d) = stddevs[d] > 1e-12
+                        ? (v.at(d) - means[d]) / stddevs[d]
+                        : 0.0;
+    }
+    return out;
+}
+
+std::vector<FeatureVector>
+Normalizer::applyAll(const std::vector<FeatureVector> &vs) const
+{
+    std::vector<FeatureVector> out;
+    out.reserve(vs.size());
+    for (const auto &v : vs)
+        out.push_back(apply(v));
+    return out;
+}
+
+} // namespace gws

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Feature extraction from draw calls. The extractor reads only the
+ * trace (API state + capture statistics); it cannot observe any GPU
+ * configuration, making the features micro-architecture independent by
+ * construction.
+ */
+
+#ifndef GWS_FEATURES_EXTRACTOR_HH
+#define GWS_FEATURES_EXTRACTOR_HH
+
+#include <vector>
+
+#include "features/feature_vector.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Extracts feature vectors from draws of one trace. */
+class FeatureExtractor
+{
+  public:
+    /** Bind to the trace whose resource tables the draws reference. */
+    explicit FeatureExtractor(const Trace &trace) : trace(trace) {}
+
+    /** Features of one draw. */
+    FeatureVector extract(const DrawCall &draw) const;
+
+    /** Features of every draw in a frame, in submission order. */
+    std::vector<FeatureVector> extractFrame(const Frame &frame) const;
+
+  private:
+    const Trace &trace;
+};
+
+/**
+ * Per-dimension affine normalization fitted on a sample (z-score with
+ * degenerate dimensions mapped to 0). Fit once per frame, then apply
+ * to that frame's draws, so clustering radii are scale-free.
+ */
+class Normalizer
+{
+  public:
+    /** Fit mean/stddev per dimension; requires at least one sample. */
+    static Normalizer fit(const std::vector<FeatureVector> &sample);
+
+    /** Normalized copy of one vector. */
+    FeatureVector apply(const FeatureVector &v) const;
+
+    /** Normalized copies of a batch. */
+    std::vector<FeatureVector>
+    applyAll(const std::vector<FeatureVector> &vs) const;
+
+    /** Fitted mean of a dimension. */
+    double mean(FeatureDim d) const
+    {
+        return means[static_cast<std::size_t>(d)];
+    }
+
+    /** Fitted standard deviation of a dimension. */
+    double stddev(FeatureDim d) const
+    {
+        return stddevs[static_cast<std::size_t>(d)];
+    }
+
+  private:
+    std::array<double, numFeatureDims> means{};
+    std::array<double, numFeatureDims> stddevs{};
+};
+
+} // namespace gws
+
+#endif // GWS_FEATURES_EXTRACTOR_HH

@@ -1,0 +1,58 @@
+#include "features/feature_vector.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(FeatureDim dim)
+{
+    switch (dim) {
+      case FeatureDim::LogVertices:
+        return "log_vertices";
+      case FeatureDim::LogPrimitives:
+        return "log_primitives";
+      case FeatureDim::LogPixels:
+        return "log_pixels";
+      case FeatureDim::LogVsOps:
+        return "log_vs_ops";
+      case FeatureDim::LogPsOps:
+        return "log_ps_ops";
+      case FeatureDim::LogTexSamples:
+        return "log_tex_samples";
+      case FeatureDim::LogTexFootprint:
+        return "log_tex_footprint";
+      case FeatureDim::LogVertexBytes:
+        return "log_vertex_bytes";
+      case FeatureDim::LogRtBytes:
+        return "log_rt_bytes";
+      case FeatureDim::PsOpsPerPixel:
+        return "ps_ops_per_pixel";
+      case FeatureDim::TexPerPixel:
+        return "tex_per_pixel";
+      case FeatureDim::Overdraw:
+        return "overdraw";
+      case FeatureDim::TexLocality:
+        return "tex_locality";
+      case FeatureDim::BlendFlag:
+        return "blend";
+      case FeatureDim::DepthWriteFlag:
+        return "depth_write";
+      case FeatureDim::NumDims:
+        break;
+    }
+    GWS_PANIC("unknown feature dim ", static_cast<int>(dim));
+}
+
+double
+FeatureVector::squaredDistance(const FeatureVector &other) const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < numFeatureDims; ++i) {
+        const double d = values[i] - other.values[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace gws

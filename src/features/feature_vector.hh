@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The micro-architecture-independent feature space draw calls are
+ * clustered in. Every dimension is a property of the draw and its
+ * bound API state alone — nothing here depends on a GpuConfig, which
+ * the test suite verifies by construction (the extractor has no access
+ * to one).
+ */
+
+#ifndef GWS_FEATURES_FEATURE_VECTOR_HH
+#define GWS_FEATURES_FEATURE_VECTOR_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace gws {
+
+/** Named dimensions of the feature space. */
+enum class FeatureDim : std::size_t
+{
+    LogVertices = 0,      ///< log1p(vertex-shader invocations)
+    LogPrimitives,        ///< log1p(primitives assembled)
+    LogPixels,            ///< log1p(pixel-shader invocations)
+    LogVsOps,             ///< log1p(total VS dynamic ops)
+    LogPsOps,             ///< log1p(total PS dynamic ops)
+    LogTexSamples,        ///< log1p(texture samples issued)
+    LogTexFootprint,      ///< log1p(bound texture bytes)
+    LogVertexBytes,       ///< log1p(vertex attribute bytes)
+    LogRtBytes,           ///< log1p(color+depth bytes touched)
+    PsOpsPerPixel,        ///< PS arithmetic ops per invocation
+    TexPerPixel,          ///< PS texture ops per invocation
+    Overdraw,             ///< shaded samples per covered pixel
+    TexLocality,          ///< spatial locality of texture access
+    BlendFlag,            ///< 1 when blending is enabled
+    DepthWriteFlag,       ///< 1 when depth writes are enabled
+    NumDims,
+};
+
+/** Number of feature dimensions. */
+constexpr std::size_t numFeatureDims =
+    static_cast<std::size_t>(FeatureDim::NumDims);
+
+/** Printable name of a dimension. */
+const char *toString(FeatureDim dim);
+
+/** A point in feature space. */
+class FeatureVector
+{
+  public:
+    /** Zero-initialized vector. */
+    FeatureVector() { values.fill(0.0); }
+
+    /** Component accessors. */
+    double &operator[](FeatureDim d)
+    {
+        return values[static_cast<std::size_t>(d)];
+    }
+    double operator[](FeatureDim d) const
+    {
+        return values[static_cast<std::size_t>(d)];
+    }
+    double &at(std::size_t i) { return values[i]; }
+    double at(std::size_t i) const { return values[i]; }
+
+    /** Raw storage (for distance kernels). */
+    const std::array<double, numFeatureDims> &raw() const { return values; }
+
+    /** Squared Euclidean distance to another vector. */
+    double squaredDistance(const FeatureVector &other) const;
+
+    /** Equality (exact; used in determinism tests). */
+    bool operator==(const FeatureVector &other) const = default;
+
+  private:
+    std::array<double, numFeatureDims> values;
+};
+
+} // namespace gws
+
+#endif // GWS_FEATURES_FEATURE_VECTOR_HH

@@ -1,0 +1,19 @@
+#include "gpusim/clock.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+ClockDomain::ClockDomain(double ghz_) : ghz(ghz_)
+{
+    GWS_ASSERT(ghz > 0.0, "clock frequency must be positive: ", ghz);
+}
+
+ClockDomain
+ClockDomain::scaled(double factor) const
+{
+    GWS_ASSERT(factor > 0.0, "clock scale must be positive: ", factor);
+    return ClockDomain(ghz * factor);
+}
+
+} // namespace gws

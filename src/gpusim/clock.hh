@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Clock domains. The simulator has two: the GPU core domain (shader
+ * cores, rasterizer, texture units, ROPs, L2) and the memory domain
+ * (DRAM). Keeping them separate is what makes the frequency-scaling
+ * experiments meaningful: scaling the core clock leaves memory-bound
+ * time unchanged.
+ */
+
+#ifndef GWS_GPUSIM_CLOCK_HH
+#define GWS_GPUSIM_CLOCK_HH
+
+namespace gws {
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** Construct with a frequency in GHz (> 0). */
+    explicit ClockDomain(double ghz);
+
+    /** Frequency in GHz. */
+    double frequencyGhz() const { return ghz; }
+
+    /** Period in nanoseconds. */
+    double periodNs() const { return 1.0 / ghz; }
+
+    /** Convert a (possibly fractional) cycle count to nanoseconds. */
+    double cyclesToNs(double cycles) const { return cycles / ghz; }
+
+    /** Convert nanoseconds to cycles. */
+    double nsToCycles(double ns) const { return ns * ghz; }
+
+    /** A domain scaled by the given factor (for frequency sweeps). */
+    ClockDomain scaled(double factor) const;
+
+  private:
+    double ghz;
+};
+
+} // namespace gws
+
+#endif // GWS_GPUSIM_CLOCK_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * GPU architecture configuration — the "design point" that architecture
+ * pathfinding sweeps. Every throughput, clock, and cache parameter the
+ * performance model consumes lives here, plus a set of named presets
+ * used by the pathfinding experiments.
+ */
+
+#ifndef GWS_GPUSIM_GPU_CONFIG_HH
+#define GWS_GPUSIM_GPU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/cache.hh"
+
+namespace gws {
+
+/** One GPU architecture design point. */
+struct GpuConfig
+{
+    /** Preset / design-point name. */
+    std::string name = "baseline";
+
+    // --- clock domains -------------------------------------------------
+    /** Core (shader/raster/tex/ROP/L2) clock in GHz. */
+    double coreClockGhz = 1.0;
+
+    /** Memory (DRAM) clock in GHz. */
+    double memClockGhz = 2.0;
+
+    // --- shader core array ----------------------------------------------
+    /** Number of unified shader cores. */
+    std::uint32_t numCores = 8;
+
+    /** SIMD lanes per core. */
+    std::uint32_t simdWidth = 16;
+
+    /** Core-cycles charged per special-function op (vs 1 for ALU). */
+    double specialOpWeight = 4.0;
+
+    // --- fixed-function rates (per core cycle, whole chip) --------------
+    /** Vertex attribute fetch bytes per cycle. */
+    double vertexFetchBytesPerCycle = 64.0;
+
+    /** Primitives set up per cycle. */
+    double rasterPrimsPerCycle = 1.0;
+
+    /** Pixels rasterized (coverage-tested) per cycle. */
+    double rasterPixelsPerCycle = 32.0;
+
+    /** Bilinear texture samples filtered per cycle (all units). */
+    double texSamplesPerCycle = 8.0;
+
+    /** Pixels blended/written by the ROPs per cycle. */
+    double ropPixelsPerCycle = 16.0;
+
+    // --- memory hierarchy ------------------------------------------------
+    /** Texture L1 geometry (aggregated over units). */
+    CacheConfig texL1{16 * 1024, 64, 4};
+
+    /** Chip-wide L2 geometry. */
+    CacheConfig l2{1024 * 1024, 64, 16};
+
+    /** L2 bandwidth in bytes per core cycle. */
+    double l2BytesPerCycle = 64.0;
+
+    /** DRAM bus width in bytes per memory cycle. */
+    double dramBusBytesPerCycle = 32.0;
+
+    /**
+     * Fraction of render-target / depth traffic that reaches DRAM
+     * (the rest is absorbed by ROP caches and compression).
+     */
+    double rtTrafficDramFraction = 0.5;
+
+    // --- overheads -------------------------------------------------------
+    /** Core cycles of command-processor setup per draw. */
+    double drawSetupCycles = 600.0;
+
+    /** Fixed per-frame overhead (present, flush) in microseconds. */
+    double frameOverheadUs = 20.0;
+
+    // --- simulation fidelity ----------------------------------------------
+    /** Cap on simulated texture accesses per draw (set-sampling). */
+    std::uint64_t maxSampledTexAccesses = 512;
+
+    /** Total SIMD ALU operations issued per core cycle. */
+    double opsPerCycle() const
+    {
+        return static_cast<double>(numCores) * simdWidth;
+    }
+
+    /** DRAM bandwidth in bytes per nanosecond (= GB/s). */
+    double dramBandwidthBytesPerNs() const
+    {
+        return dramBusBytesPerCycle * memClockGhz;
+    }
+
+    /** Copy with the core clock scaled by factor (memory unchanged). */
+    GpuConfig withCoreClockScale(double factor) const;
+
+    /** Copy with a different name. */
+    GpuConfig named(std::string new_name) const;
+
+    /** Panics if any parameter is non-physical. */
+    void validate() const;
+};
+
+/**
+ * Named architecture presets used by the pathfinding experiments:
+ *  - baseline : the reference design point
+ *  - wide     : 2x shader cores (compute-heavy design)
+ *  - fastmem  : 1.6x memory clock (bandwidth-heavy design)
+ *  - bigcache : 4x L2 (capacity-heavy design)
+ *  - mobile   : halved everything (power-constrained design)
+ * Panics on an unknown name; see gpuPresetNames().
+ */
+GpuConfig makeGpuPreset(const std::string &name);
+
+/** Names accepted by makeGpuPreset(), in canonical order. */
+std::vector<std::string> gpuPresetNames();
+
+} // namespace gws
+
+#endif // GWS_GPUSIM_GPU_CONFIG_HH

@@ -1,0 +1,183 @@
+#include "gpusim/gpu_simulator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(Stage stage)
+{
+    switch (stage) {
+      case Stage::Setup:
+        return "setup";
+      case Stage::VertexFetch:
+        return "vfetch";
+      case Stage::VertexShade:
+        return "vshade";
+      case Stage::Raster:
+        return "raster";
+      case Stage::PixelShade:
+        return "pshade";
+      case Stage::Texture:
+        return "texture";
+      case Stage::Rop:
+        return "rop";
+      case Stage::L2:
+        return "l2";
+      case Stage::Dram:
+        return "dram";
+      case Stage::NumStages:
+        break;
+    }
+    GWS_PANIC("unknown stage ", static_cast<int>(stage));
+}
+
+double
+TraceCost::meanFrameMs() const
+{
+    if (frames.empty())
+        return 0.0;
+    return totalNs / static_cast<double>(frames.size()) * 1e-6;
+}
+
+double
+TraceCost::fps() const
+{
+    const double ms = meanFrameMs();
+    return ms > 0.0 ? 1000.0 / ms : 0.0;
+}
+
+GpuSimulator::GpuSimulator(GpuConfig config)
+    : cfg(std::move(config)), memory(cfg)
+{
+    cfg.validate();
+}
+
+double
+GpuSimulator::weightedOps(const InstructionMix &mix) const
+{
+    // Special-function ops occupy the SIMD unit for specialOpWeight
+    // cycles; a texture op costs one issue slot (the filtering itself
+    // is priced by the texture stage).
+    return static_cast<double>(mix.aluOps) + mix.maddOps + mix.interpOps +
+           mix.controlOps + mix.texOps +
+           cfg.specialOpWeight * mix.specialOps;
+}
+
+DrawWork
+GpuSimulator::computeDrawWork(const Trace &trace,
+                              const DrawCall &draw) const
+{
+    const auto &vs = trace.shaders().get(draw.state.vertexShader);
+    const auto &ps = trace.shaders().get(draw.state.pixelShader);
+    GWS_ASSERT(vs.stage() == ShaderStage::Vertex,
+               "draw binds non-vertex shader in VS slot");
+    GWS_ASSERT(ps.stage() == ShaderStage::Pixel,
+               "draw binds non-pixel shader in PS slot");
+
+    DrawWork work;
+    work.vertices = static_cast<double>(draw.vertices());
+    work.primitives = static_cast<double>(draw.primitives());
+    work.pixels = static_cast<double>(draw.shadedPixels);
+    work.vertexFetchBytes = static_cast<double>(draw.vertexFetchBytes());
+    work.vsWeightedOps = weightedOps(vs.mix());
+    work.psWeightedOps = weightedOps(ps.mix());
+    work.ropPixels = work.pixels * (draw.state.blendEnabled ? 2.0 : 1.0);
+    work.traffic = memory.drawTraffic(trace, draw);
+    return work;
+}
+
+DrawCost
+GpuSimulator::timeDrawWork(const DrawWork &work) const
+{
+    DrawCost cost;
+    cost.traffic = work.traffic;
+    const double core_ghz = cfg.coreClockGhz;
+
+    auto set = [&](Stage s, double ns) {
+        cost.stageNs[static_cast<std::size_t>(s)] = ns;
+    };
+
+    // Command-processor setup: serial, not overlapped with the rest.
+    const double setup_ns = cfg.drawSetupCycles / core_ghz;
+    set(Stage::Setup, setup_ns);
+
+    // Core-domain throughput stages (cycles -> ns at the core clock).
+    set(Stage::VertexFetch,
+        work.vertexFetchBytes / cfg.vertexFetchBytesPerCycle / core_ghz);
+    set(Stage::VertexShade,
+        work.vertices * work.vsWeightedOps / cfg.opsPerCycle() /
+            core_ghz);
+    set(Stage::Raster,
+        (work.primitives / cfg.rasterPrimsPerCycle +
+         work.pixels / cfg.rasterPixelsPerCycle) /
+            core_ghz);
+    set(Stage::PixelShade,
+        work.pixels * work.psWeightedOps / cfg.opsPerCycle() / core_ghz);
+    set(Stage::Texture,
+        static_cast<double>(work.traffic.texSamples) /
+            cfg.texSamplesPerCycle / core_ghz);
+    set(Stage::Rop, work.ropPixels / cfg.ropPixelsPerCycle / core_ghz);
+    set(Stage::L2,
+        work.traffic.totalL2Bytes() / cfg.l2BytesPerCycle / core_ghz);
+
+    // Memory-domain stage: scales with the memory clock only.
+    set(Stage::Dram,
+        work.traffic.totalDramBytes() / cfg.dramBandwidthBytesPerNs());
+
+    // Fully-pipelined overlap: wall time = setup + slowest stage.
+    double worst = 0.0;
+    Stage worst_stage = Stage::VertexFetch;
+    for (std::size_t s = static_cast<std::size_t>(Stage::VertexFetch);
+         s < numStages; ++s) {
+        if (cost.stageNs[s] > worst) {
+            worst = cost.stageNs[s];
+            worst_stage = static_cast<Stage>(s);
+        }
+    }
+    cost.totalNs = setup_ns + worst;
+    cost.bottleneck = worst > setup_ns ? worst_stage : Stage::Setup;
+    return cost;
+}
+
+DrawCost
+GpuSimulator::simulateDraw(const Trace &trace, const DrawCall &draw) const
+{
+    return timeDrawWork(computeDrawWork(trace, draw));
+}
+
+FrameCost
+GpuSimulator::simulateFrame(const Trace &trace, const Frame &frame) const
+{
+    FrameCost fc;
+    fc.frameIndex = frame.index();
+    fc.drawNs.reserve(frame.drawCount());
+    double total = 0.0;
+    for (const auto &draw : frame.draws()) {
+        const DrawCost dc = simulateDraw(trace, draw);
+        fc.drawNs.push_back(dc.totalNs);
+        total += dc.totalNs;
+        const auto b = static_cast<std::size_t>(dc.bottleneck);
+        fc.bottleneckNs[b] += dc.totalNs;
+        ++fc.bottleneckCount[b];
+    }
+    fc.totalNs = total + cfg.frameOverheadUs * 1e3;
+    return fc;
+}
+
+TraceCost
+GpuSimulator::simulateTrace(const Trace &trace) const
+{
+    TraceCost tc;
+    tc.frames.reserve(trace.frameCount());
+    for (const auto &frame : trace.frames()) {
+        tc.frames.push_back(simulateFrame(trace, frame));
+        tc.totalNs += tc.frames.back().totalNs;
+        tc.drawsSimulated += frame.drawCount();
+    }
+    return tc;
+}
+
+} // namespace gws

@@ -1,0 +1,94 @@
+#include "gpusim/memory_system.hh"
+
+#include <algorithm>
+
+#include "gpusim/access_stream.hh"
+
+namespace gws {
+
+double
+MemoryTraffic::totalL2Bytes() const
+{
+    // Texture fills plus the vertex stream and the DRAM-bound RT
+    // traffic all cross the L2 data paths.
+    return texL2FillBytes + vertexDramBytes + rtDramBytes;
+}
+
+double
+MemoryTraffic::totalDramBytes() const
+{
+    return texDramBytes + vertexDramBytes + rtDramBytes;
+}
+
+MemorySystem::MemorySystem(const GpuConfig &config) : cfg(config)
+{
+    cfg.validate();
+}
+
+MemoryTraffic
+MemorySystem::drawTraffic(const Trace &trace, const DrawCall &draw) const
+{
+    MemoryTraffic t;
+
+    // --- vertex stream (compulsory, streaming) --------------------------
+    t.vertexDramBytes = static_cast<double>(draw.vertexFetchBytes());
+
+    // --- render target + depth ------------------------------------------
+    const auto &rt = trace.renderTarget(draw.state.renderTarget);
+    double rt_bytes =
+        static_cast<double>(draw.shadedPixels) * rt.bytesPerPixel;
+    if (draw.state.blendEnabled)
+        rt_bytes *= 2.0; // read-modify-write
+    double depth_bytes = 0.0;
+    constexpr double depth_bpp = 4.0;
+    if (draw.state.depthTestEnabled)
+        depth_bytes += static_cast<double>(draw.shadedPixels) * depth_bpp;
+    if (draw.state.depthWriteEnabled)
+        depth_bytes +=
+            static_cast<double>(draw.coveredPixels()) * depth_bpp;
+    t.rtDramBytes = (rt_bytes + depth_bytes) * cfg.rtTrafficDramFraction;
+
+    // --- textures ---------------------------------------------------------
+    const auto &ps = trace.shaders().get(draw.state.pixelShader);
+    t.texSamples = draw.shadedPixels * ps.mix().texOps;
+    if (t.texSamples == 0 || draw.state.textures.empty())
+        return t;
+
+    std::uint64_t bound_bytes = 0;
+    std::uint64_t bpt_sum = 0;
+    for (TextureId id : draw.state.textures) {
+        const TextureDesc &tex = trace.texture(id);
+        bound_bytes += tex.sizeBytes();
+        bpt_sum += tex.bytesPerTexel;
+    }
+    const double avg_bpt = static_cast<double>(bpt_sum) /
+                           static_cast<double>(draw.state.textures.size());
+
+    StreamParams params;
+    params.totalAccesses = t.texSamples;
+    // Thanks to mip selection the touched texel count tracks the sample
+    // count, bounded by what is actually bound.
+    params.footprintBytes = std::min<std::uint64_t>(
+        bound_bytes,
+        std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                static_cast<double>(t.texSamples) * avg_bpt),
+            cfg.texL1.lineBytes));
+    params.locality = draw.texLocality;
+    params.seed = mixSeed(draw.materialId,
+                          (static_cast<std::uint64_t>(
+                               draw.state.pixelShader)
+                           << 32) |
+                              draw.state.vertexShader,
+                          draw.shadedPixels ^ bound_bytes);
+
+    const StreamResult sr = runTextureStream(
+        params, cfg.texL1, cfg.l2, cfg.maxSampledTexAccesses);
+    t.texL1HitRate = sr.l1HitRate;
+    t.texL2HitRate = sr.l2HitRate;
+    t.texL2FillBytes = sr.l1Misses * cfg.texL1.lineBytes;
+    t.texDramBytes = sr.l2Misses * cfg.l2.lineBytes;
+    return t;
+}
+
+} // namespace gws

@@ -1,0 +1,82 @@
+#include "gpusim/power.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+double
+PowerConfig::voltageAt(double core_ghz) const
+{
+    GWS_ASSERT(core_ghz > 0.0, "non-positive clock: ", core_ghz);
+    return std::max(minVoltage,
+                    voltageAt1Ghz + voltageSlopePerGhz * (core_ghz - 1.0));
+}
+
+double
+PowerConfig::dynamicWatts(double core_ghz) const
+{
+    const double v = voltageAt(core_ghz);
+    // nF * V^2 * GHz: 1e-9 F and 1e9 Hz cancel, yielding watts.
+    return switchedCapacitanceNf * v * v * core_ghz;
+}
+
+double
+PowerConfig::leakageWatts(double core_ghz) const
+{
+    return leakagePerVolt * voltageAt(core_ghz);
+}
+
+void
+PowerConfig::validate() const
+{
+    GWS_ASSERT(voltageAt1Ghz > 0.0, "voltage must be positive");
+    GWS_ASSERT(voltageSlopePerGhz >= 0.0, "voltage slope negative");
+    GWS_ASSERT(minVoltage > 0.0 && minVoltage <= voltageAt1Ghz,
+               "bad minimum voltage");
+    GWS_ASSERT(switchedCapacitanceNf > 0.0, "capacitance must be "
+               "positive");
+    GWS_ASSERT(leakagePerVolt >= 0.0, "leakage negative");
+    GWS_ASSERT(dramPicojoulesPerByte >= 0.0, "DRAM energy negative");
+    GWS_ASSERT(boardWatts >= 0.0, "board power negative");
+}
+
+double
+EnergyReport::totalJ() const
+{
+    return dynamicJ + leakageJ + dramJ + boardJ;
+}
+
+double
+EnergyReport::averageWatts() const
+{
+    return seconds > 0.0 ? totalJ() / seconds : 0.0;
+}
+
+double
+EnergyReport::energyDelay() const
+{
+    return totalJ() * seconds;
+}
+
+EnergyReport
+estimateEnergy(const WorkloadEstimate &workload, const GpuConfig &config,
+               const PowerConfig &power)
+{
+    power.validate();
+    GWS_ASSERT(workload.ns >= 0.0 && workload.dramBytes >= 0.0,
+               "negative workload estimate");
+    EnergyReport report;
+    report.seconds = workload.ns * 1e-9;
+    report.dynamicJ =
+        power.dynamicWatts(config.coreClockGhz) * report.seconds;
+    report.leakageJ =
+        power.leakageWatts(config.coreClockGhz) * report.seconds;
+    report.dramJ = workload.dramBytes * power.dramPicojoulesPerByte *
+                   1e-12;
+    report.boardJ = power.boardWatts * report.seconds;
+    return report;
+}
+
+} // namespace gws

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * First-order GPU power and energy model. Architecture pathfinding
+ * ultimately optimizes performance per watt, so the frequency-scaling
+ * study has a natural energy extension: dynamic power follows
+ * C_eff * V(f)^2 * f with a linear voltage-frequency curve, leakage
+ * scales with voltage, and DRAM traffic is charged per byte. Energy
+ * integrates those powers over the simulated execution time.
+ */
+
+#ifndef GWS_GPUSIM_POWER_HH
+#define GWS_GPUSIM_POWER_HH
+
+#include "gpusim/gpu_config.hh"
+
+namespace gws {
+
+/** Parameters of the power model. */
+struct PowerConfig
+{
+    /** Supply voltage at a 1.0 GHz core clock (volts). */
+    double voltageAt1Ghz = 0.90;
+
+    /** Additional volts per GHz of core clock (linear V-f curve). */
+    double voltageSlopePerGhz = 0.25;
+
+    /** Minimum supply voltage the process supports (volts). */
+    double minVoltage = 0.65;
+
+    /**
+     * Effective switched capacitance of the core domain in nanofarads;
+     * dynamic watts = C_eff(nF) * V^2 * f(GHz).
+     */
+    double switchedCapacitanceNf = 18.0;
+
+    /** Leakage watts per volt of supply. */
+    double leakagePerVolt = 6.0;
+
+    /** DRAM access energy in picojoules per byte. */
+    double dramPicojoulesPerByte = 20.0;
+
+    /** Constant board/aux power in watts. */
+    double boardWatts = 3.0;
+
+    /** Supply voltage at the given core clock (GHz). */
+    double voltageAt(double core_ghz) const;
+
+    /** Core dynamic power (watts) at the given clock. */
+    double dynamicWatts(double core_ghz) const;
+
+    /** Leakage power (watts) at the given clock's voltage. */
+    double leakageWatts(double core_ghz) const;
+
+    /** Panics on non-physical parameters. */
+    void validate() const;
+};
+
+/** Time-and-traffic summary of a (full or predicted) execution. */
+struct WorkloadEstimate
+{
+    /** Execution time in nanoseconds. */
+    double ns = 0.0;
+
+    /** DRAM bytes moved. */
+    double dramBytes = 0.0;
+};
+
+/** Energy breakdown of one execution at one design point. */
+struct EnergyReport
+{
+    /** Core dynamic energy (joules). */
+    double dynamicJ = 0.0;
+
+    /** Leakage energy (joules). */
+    double leakageJ = 0.0;
+
+    /** DRAM access energy (joules). */
+    double dramJ = 0.0;
+
+    /** Board/aux energy (joules). */
+    double boardJ = 0.0;
+
+    /** Execution time (seconds). */
+    double seconds = 0.0;
+
+    /** Total energy (joules). */
+    double totalJ() const;
+
+    /** Average power (watts). */
+    double averageWatts() const;
+
+    /** Energy-delay product (joule-seconds) — the DVFS figure of merit. */
+    double energyDelay() const;
+};
+
+/**
+ * Energy of executing the given workload estimate on the given design
+ * point under the power model.
+ */
+EnergyReport estimateEnergy(const WorkloadEstimate &workload,
+                            const GpuConfig &config,
+                            const PowerConfig &power);
+
+} // namespace gws
+
+#endif // GWS_GPUSIM_POWER_HH

@@ -1,0 +1,99 @@
+#include "gpusim/report.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+/** Raw (unnormalized) accumulation helper. */
+struct RawProfile
+{
+    std::array<double, numStages> ns{};
+    std::array<std::uint64_t, numStages> draws{};
+};
+
+BottleneckProfile
+normalize(const RawProfile &raw)
+{
+    BottleneckProfile p;
+    double total_ns = 0.0;
+    std::uint64_t total_draws = 0;
+    for (std::size_t s = 0; s < numStages; ++s) {
+        total_ns += raw.ns[s];
+        total_draws += raw.draws[s];
+    }
+    p.draws = total_draws;
+    p.totalNs = total_ns;
+    for (std::size_t s = 0; s < numStages; ++s) {
+        p.drawFraction[s] =
+            total_draws ? static_cast<double>(raw.draws[s]) /
+                              static_cast<double>(total_draws)
+                        : 0.0;
+        p.timeFraction[s] = total_ns > 0.0 ? raw.ns[s] / total_ns : 0.0;
+    }
+    return p;
+}
+
+} // namespace
+
+Stage
+BottleneckProfile::dominant() const
+{
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < numStages; ++s) {
+        if (timeFraction[s] > timeFraction[best])
+            best = s;
+    }
+    return static_cast<Stage>(best);
+}
+
+double
+BottleneckProfile::memoryBoundTimeFraction() const
+{
+    return timeShare(Stage::Dram);
+}
+
+BottleneckProfile
+profileFrame(const FrameCost &frame)
+{
+    RawProfile raw;
+    for (std::size_t s = 0; s < numStages; ++s) {
+        raw.ns[s] = frame.bottleneckNs[s];
+        raw.draws[s] = frame.bottleneckCount[s];
+    }
+    return normalize(raw);
+}
+
+BottleneckProfile
+profileTrace(const GpuSimulator &simulator, const Trace &trace)
+{
+    RawProfile raw;
+    for (const auto &frame : trace.frames()) {
+        const FrameCost fc = simulator.simulateFrame(trace, frame);
+        for (std::size_t s = 0; s < numStages; ++s) {
+            raw.ns[s] += fc.bottleneckNs[s];
+            raw.draws[s] += fc.bottleneckCount[s];
+        }
+    }
+    return normalize(raw);
+}
+
+BottleneckProfile
+merge(const BottleneckProfile &a, const BottleneckProfile &b)
+{
+    RawProfile raw;
+    for (std::size_t s = 0; s < numStages; ++s) {
+        raw.ns[s] = a.timeFraction[s] * a.totalNs +
+                    b.timeFraction[s] * b.totalNs;
+        const double a_draws =
+            a.drawFraction[s] * static_cast<double>(a.draws);
+        const double b_draws =
+            b.drawFraction[s] * static_cast<double>(b.draws);
+        raw.draws[s] = static_cast<std::uint64_t>(
+            a_draws + b_draws + 0.5);
+    }
+    return normalize(raw);
+}
+
+} // namespace gws

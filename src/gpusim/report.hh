@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bottleneck characterization of workloads: which pipeline stage
+ * limits each draw, aggregated over frames and traces. Architects use
+ * this to read a workload's compute/memory balance — and it explains
+ * *why* frequency-scaling curves bend (DRAM-bottlenecked time does
+ * not scale with the core clock).
+ */
+
+#ifndef GWS_GPUSIM_REPORT_HH
+#define GWS_GPUSIM_REPORT_HH
+
+#include "gpusim/gpu_simulator.hh"
+
+namespace gws {
+
+/** Aggregated bottleneck distribution of a workload. */
+struct BottleneckProfile
+{
+    /** Fraction of draw calls bottlenecked on each stage. */
+    std::array<double, numStages> drawFraction{};
+
+    /** Fraction of total draw time spent in draws bottlenecked there. */
+    std::array<double, numStages> timeFraction{};
+
+    /** Draws profiled. */
+    std::uint64_t draws = 0;
+
+    /** Total draw time (ns) profiled. */
+    double totalNs = 0.0;
+
+    /** The stage holding the largest time fraction. */
+    Stage dominant() const;
+
+    /**
+     * Fraction of draw time bottlenecked on the memory domain (DRAM);
+     * the part of the workload core-frequency scaling cannot help.
+     */
+    double memoryBoundTimeFraction() const;
+
+    /** Accessors by stage. */
+    double drawShare(Stage s) const
+    {
+        return drawFraction[static_cast<std::size_t>(s)];
+    }
+    double timeShare(Stage s) const
+    {
+        return timeFraction[static_cast<std::size_t>(s)];
+    }
+};
+
+/** Profile one frame (already-simulated cost). */
+BottleneckProfile profileFrame(const FrameCost &frame);
+
+/** Simulate and profile a whole trace. */
+BottleneckProfile profileTrace(const GpuSimulator &simulator,
+                               const Trace &trace);
+
+/** Merge two profiles (weighted by time and draw counts). */
+BottleneckProfile merge(const BottleneckProfile &a,
+                        const BottleneckProfile &b);
+
+} // namespace gws
+
+#endif // GWS_GPUSIM_REPORT_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SimPoint-style alternative to shader-vector phase detection.
+ *
+ * SimPoint groups CPU execution intervals by clustering basic-block
+ * vectors; the analogue here characterizes each frame interval by the
+ * mean micro-architecture-independent feature vector of its draws and
+ * leader-clusters those centroids. The paper's insight is that for 3D
+ * workloads the *shader vector* is a cheaper and sharper signature;
+ * this module exists so the ablation bench can quantify that claim
+ * against the established prior technique.
+ */
+
+#ifndef GWS_PHASE_FEATURE_PHASES_HH
+#define GWS_PHASE_FEATURE_PHASES_HH
+
+#include "phase/phase_detect.hh"
+
+namespace gws {
+
+/** Feature-clustering phase detection parameters. */
+struct FeaturePhaseConfig
+{
+    /** Frames per interval (same knob as PhaseConfig). */
+    std::uint32_t intervalFrames = 10;
+
+    /**
+     * Leader radius over normalized interval centroids. Centroids are
+     * z-scored across the trace's intervals before clustering.
+     */
+    double radius = 1.0;
+};
+
+/**
+ * Detect phases by clustering interval feature centroids. The result
+ * uses the same PhaseTimeline structure as detectPhases() (intervals
+ * still carry their shader vectors for reference), so the subsetting
+ * pipeline can consume either method interchangeably. Phase IDs are
+ * dense in order of first appearance.
+ */
+PhaseTimeline detectPhasesByFeatures(const Trace &trace,
+                                     const FeaturePhaseConfig &config);
+
+} // namespace gws
+
+#endif // GWS_PHASE_FEATURE_PHASES_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Phase detection over a playthrough trace: partition the frame
+ * sequence into fixed-length intervals, characterize each interval by
+ * its shader vector, and group intervals whose shader vectors match
+ * (exact equality by default, optional Jaccard threshold). Recurring
+ * phase IDs expose the repetitive behavior the paper exploits.
+ */
+
+#ifndef GWS_PHASE_PHASE_DETECT_HH
+#define GWS_PHASE_PHASE_DETECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "phase/shader_vector.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Phase-detection parameters. */
+struct PhaseConfig
+{
+    /** Frames per interval (the paper's granularity knob). */
+    std::uint32_t intervalFrames = 10;
+
+    /** Record only pixel shaders in the shader vector. */
+    bool pixelShadersOnly = true;
+
+    /**
+     * Minimum Jaccard similarity to an existing phase's signature for
+     * an interval to join it; 1.0 means exact shader-vector equality.
+     */
+    double similarityThreshold = 1.0;
+};
+
+/** One frame interval with its signature and phase label. */
+struct Interval
+{
+    /** First frame of the interval (inclusive). */
+    std::uint32_t beginFrame = 0;
+
+    /** One past the last frame (exclusive). */
+    std::uint32_t endFrame = 0;
+
+    /** Shader vector of the interval. */
+    ShaderVector shaders;
+
+    /** Assigned phase id (dense, in order of first appearance). */
+    std::uint32_t phaseId = 0;
+
+    /** Frames covered. */
+    std::uint32_t frames() const { return endFrame - beginFrame; }
+};
+
+/** The phase structure of one trace. */
+struct PhaseTimeline
+{
+    /** Intervals in playthrough order. */
+    std::vector<Interval> intervals;
+
+    /** Number of distinct phases. */
+    std::uint32_t phaseCount = 0;
+
+    /** Phase id -> interval indices belonging to it, in order. */
+    std::vector<std::vector<std::size_t>> phaseIntervals;
+
+    /**
+     * Phase id -> representative interval index (the phase's first
+     * occurrence, the natural choice for capture-once workflows).
+     */
+    std::vector<std::size_t> representatives;
+
+    /** Phase id sequence over intervals (the "timeline string"). */
+    std::vector<std::uint32_t> phaseSequence() const;
+
+    /** Occurrence count of each phase. */
+    std::vector<std::size_t> occurrenceCounts() const;
+
+    /**
+     * True when some phase recurs (occurs in two or more intervals) —
+     * the paper's "phases exist" condition that makes subsetting pay.
+     */
+    bool hasRecurringPhase() const;
+
+    /**
+     * Fraction of intervals covered by representative intervals:
+     * phaseCount / intervals. Lower is better for subsetting.
+     */
+    double representativeFraction() const;
+};
+
+/**
+ * Detect phases in a trace. The last partial interval (fewer than
+ * intervalFrames frames) is kept as its own interval. Panics on an
+ * empty trace or a zero interval length.
+ */
+PhaseTimeline detectPhases(const Trace &trace, const PhaseConfig &config);
+
+} // namespace gws
+
+#endif // GWS_PHASE_PHASE_DETECT_HH

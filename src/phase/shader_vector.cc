@@ -1,0 +1,102 @@
+#include "phase/shader_vector.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+ShaderVector::ShaderVector(std::size_t universe)
+    : universeSize(universe), words((universe + 63) / 64, 0)
+{
+}
+
+void
+ShaderVector::set(ShaderId id)
+{
+    GWS_ASSERT(id < universeSize, "shader id ", id,
+               " outside universe of ", universeSize);
+    words[id / 64] |= std::uint64_t{1} << (id % 64);
+}
+
+bool
+ShaderVector::test(ShaderId id) const
+{
+    if (id >= universeSize)
+        return false;
+    return (words[id / 64] >> (id % 64)) & 1;
+}
+
+std::size_t
+ShaderVector::count() const
+{
+    std::size_t n = 0;
+    for (std::uint64_t w : words)
+        n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+std::vector<ShaderId>
+ShaderVector::ids() const
+{
+    std::vector<ShaderId> out;
+    for (std::size_t wi = 0; wi < words.size(); ++wi) {
+        std::uint64_t w = words[wi];
+        while (w) {
+            const int bit = std::countr_zero(w);
+            out.push_back(static_cast<ShaderId>(wi * 64 + bit));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::size_t
+ShaderVector::intersectionCount(const ShaderVector &other) const
+{
+    GWS_ASSERT(universeSize == other.universeSize,
+               "shader-vector universe mismatch");
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        n += static_cast<std::size_t>(
+            std::popcount(words[i] & other.words[i]));
+    return n;
+}
+
+std::size_t
+ShaderVector::unionCount(const ShaderVector &other) const
+{
+    GWS_ASSERT(universeSize == other.universeSize,
+               "shader-vector universe mismatch");
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words.size(); ++i)
+        n += static_cast<std::size_t>(
+            std::popcount(words[i] | other.words[i]));
+    return n;
+}
+
+double
+ShaderVector::jaccard(const ShaderVector &other) const
+{
+    const std::size_t u = unionCount(other);
+    if (u == 0)
+        return 1.0;
+    return static_cast<double>(intersectionCount(other)) /
+           static_cast<double>(u);
+}
+
+ShaderVector
+frameShaderVector(const Frame &frame, std::size_t universe,
+                  bool pixel_only)
+{
+    ShaderVector v(universe);
+    for (const auto &draw : frame.draws()) {
+        if (draw.state.pixelShader != invalidShaderId)
+            v.set(draw.state.pixelShader);
+        if (!pixel_only && draw.state.vertexShader != invalidShaderId)
+            v.set(draw.state.vertexShader);
+    }
+    return v;
+}
+
+} // namespace gws

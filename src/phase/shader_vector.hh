@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shader vectors: the paper's frame-interval signature. A shader
+ * vector is the set of shader programs bound by any draw inside a
+ * frame interval; two intervals with equal shader vectors render the
+ * same environment and belong to the same phase.
+ *
+ * Stored as a fixed-universe bitset (shader IDs are dense per trace),
+ * so equality, intersection, and Jaccard similarity are word-parallel.
+ */
+
+#ifndef GWS_PHASE_SHADER_VECTOR_HH
+#define GWS_PHASE_SHADER_VECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "shader/shader_program.hh"
+#include "trace/frame.hh"
+
+namespace gws {
+
+/** Bitset over a trace's shader IDs. */
+class ShaderVector
+{
+  public:
+    /** Empty vector over a universe of the given size. */
+    explicit ShaderVector(std::size_t universe = 0);
+
+    /** Mark a shader as present; panics if out of universe. */
+    void set(ShaderId id);
+
+    /** True if the shader is present. */
+    bool test(ShaderId id) const;
+
+    /** Number of shaders present. */
+    std::size_t count() const;
+
+    /** Universe size the vector was constructed with. */
+    std::size_t universe() const { return universeSize; }
+
+    /** Present shader IDs, ascending. */
+    std::vector<ShaderId> ids() const;
+
+    /** |a AND b|. */
+    std::size_t intersectionCount(const ShaderVector &other) const;
+
+    /** |a OR b|. */
+    std::size_t unionCount(const ShaderVector &other) const;
+
+    /**
+     * Jaccard similarity |a AND b| / |a OR b|; 1 when both are empty.
+     * Panics on universe mismatch.
+     */
+    double jaccard(const ShaderVector &other) const;
+
+    /** Exact set equality (requires equal universes). */
+    bool operator==(const ShaderVector &other) const = default;
+
+  private:
+    std::size_t universeSize;
+    std::vector<std::uint64_t> words;
+};
+
+/**
+ * Shader vector of one frame. When pixel_only is set (the paper's
+ * choice), only pixel shaders are recorded — pixel-shader pools are
+ * what distinguishes environments; vertex shaders are widely shared.
+ */
+ShaderVector frameShaderVector(const Frame &frame, std::size_t universe,
+                               bool pixel_only);
+
+} // namespace gws
+
+#endif // GWS_PHASE_SHADER_VECTOR_HH

@@ -1,0 +1,40 @@
+#include "shader/shader_library.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+ShaderId
+ShaderLibrary::add(ShaderStage stage, std::string name, InstructionMix mix,
+                   std::uint32_t temp_registers)
+{
+    const auto id = static_cast<ShaderId>(programs.size());
+    GWS_ASSERT(id != invalidShaderId, "shader library full");
+    programs.emplace_back(id, stage, std::move(name), mix, temp_registers);
+    return id;
+}
+
+const ShaderProgram &
+ShaderLibrary::get(ShaderId id) const
+{
+    GWS_ASSERT(id < programs.size(), "shader id out of range: ", id,
+               " (library has ", programs.size(), ")");
+    return programs[id];
+}
+
+bool
+ShaderLibrary::contains(ShaderId id) const
+{
+    return id < programs.size();
+}
+
+std::size_t
+ShaderLibrary::countStage(ShaderStage stage) const
+{
+    std::size_t n = 0;
+    for (const auto &p : programs)
+        n += p.stage() == stage ? 1 : 0;
+    return n;
+}
+
+} // namespace gws

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Container for the shader programs referenced by one trace. Shader IDs
+ * are dense indices into the library, which lets the phase-detection
+ * shader vectors be simple bitsets.
+ */
+
+#ifndef GWS_SHADER_SHADER_LIBRARY_HH
+#define GWS_SHADER_SHADER_LIBRARY_HH
+
+#include <vector>
+
+#include "shader/shader_program.hh"
+
+namespace gws {
+
+/**
+ * Dense, append-only table of shader programs. The library assigns IDs
+ * sequentially; ID n is always the n-th added program.
+ */
+class ShaderLibrary
+{
+  public:
+    /**
+     * Add a program described by stage/name/mix; the library assigns
+     * and returns its id.
+     */
+    ShaderId add(ShaderStage stage, std::string name, InstructionMix mix,
+                 std::uint32_t temp_registers = 8);
+
+    /** Look up a program; panics if the id is out of range. */
+    const ShaderProgram &get(ShaderId id) const;
+
+    /** True if id names a program in this library. */
+    bool contains(ShaderId id) const;
+
+    /** Number of programs. */
+    std::size_t size() const { return programs.size(); }
+
+    /** True when no program has been added. */
+    bool empty() const { return programs.empty(); }
+
+    /** Count of programs of one stage. */
+    std::size_t countStage(ShaderStage stage) const;
+
+    /** Iteration support. */
+    auto begin() const { return programs.begin(); }
+    auto end() const { return programs.end(); }
+
+    /** Equality over all programs (used by serialization round-trips). */
+    bool operator==(const ShaderLibrary &other) const = default;
+
+  private:
+    std::vector<ShaderProgram> programs;
+};
+
+} // namespace gws
+
+#endif // GWS_SHADER_SHADER_LIBRARY_HH

@@ -1,0 +1,42 @@
+#include "shader/shader_program.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(ShaderStage stage)
+{
+    switch (stage) {
+      case ShaderStage::Vertex:
+        return "vertex";
+      case ShaderStage::Pixel:
+        return "pixel";
+    }
+    GWS_PANIC("unknown shader stage ", static_cast<int>(stage));
+}
+
+std::uint64_t
+InstructionMix::totalOps() const
+{
+    return static_cast<std::uint64_t>(aluOps) + maddOps + specialOps +
+           texOps + interpOps + controlOps;
+}
+
+std::uint64_t
+InstructionMix::arithmeticOps() const
+{
+    return static_cast<std::uint64_t>(aluOps) + maddOps + specialOps +
+           interpOps + controlOps;
+}
+
+ShaderProgram::ShaderProgram(ShaderId id, ShaderStage stage,
+                             std::string name, InstructionMix mix,
+                             std::uint32_t temp_registers)
+    : _id(id), _stage(stage), _name(std::move(name)), _mix(mix),
+      _tempRegisters(temp_registers)
+{
+    GWS_ASSERT(_id != invalidShaderId, "shader id collides with sentinel");
+}
+
+} // namespace gws

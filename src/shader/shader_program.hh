@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shader program model. A shader is described by its per-invocation
+ * instruction mix rather than actual code: that is exactly the level of
+ * detail the paper's micro-architecture-independent characterization and
+ * the draw-call-level performance model consume.
+ */
+
+#ifndef GWS_SHADER_SHADER_PROGRAM_HH
+#define GWS_SHADER_SHADER_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gws {
+
+/** Identifier of a shader program within one trace's ShaderLibrary. */
+using ShaderId = std::uint32_t;
+
+/** Sentinel for "no shader bound". */
+constexpr ShaderId invalidShaderId = UINT32_MAX;
+
+/** Pipeline stage a shader program executes in. */
+enum class ShaderStage : std::uint8_t { Vertex = 0, Pixel = 1 };
+
+/** Printable name of a shader stage. */
+const char *toString(ShaderStage stage);
+
+/**
+ * Per-invocation dynamic instruction mix of a shader program.
+ *
+ * Counts are averages over one invocation (one vertex for a vertex
+ * shader, one fragment for a pixel shader) and are what a static
+ * analysis plus API-state inspection of a real shader would yield.
+ */
+struct InstructionMix
+{
+    /** Simple ALU operations (add, mul, logic, compare). */
+    std::uint32_t aluOps = 0;
+
+    /** Fused multiply-add operations. */
+    std::uint32_t maddOps = 0;
+
+    /** Transcendental / special-function ops (rcp, rsq, sin, exp). */
+    std::uint32_t specialOps = 0;
+
+    /** Texture sampling instructions. */
+    std::uint32_t texOps = 0;
+
+    /** Attribute interpolation operations (pixel shaders). */
+    std::uint32_t interpOps = 0;
+
+    /** Control-flow operations (branches, loops). */
+    std::uint32_t controlOps = 0;
+
+    /** Total dynamic operations per invocation. */
+    std::uint64_t totalOps() const;
+
+    /**
+     * Arithmetic operations per invocation (everything that occupies a
+     * SIMD ALU lane: alu + madd + special + interp + control).
+     */
+    std::uint64_t arithmeticOps() const;
+
+    /** Equality: all counters equal. */
+    bool operator==(const InstructionMix &other) const = default;
+};
+
+/**
+ * A shader program: stage, name, and instruction mix, plus the register
+ * footprint that a real compiler would report (used by occupancy-style
+ * extensions; kept micro-architecture independent).
+ */
+class ShaderProgram
+{
+  public:
+    /** Default-construct an invalid program (needed for containers). */
+    ShaderProgram() = default;
+
+    /** Construct a fully-specified program. */
+    ShaderProgram(ShaderId id, ShaderStage stage, std::string name,
+                  InstructionMix mix, std::uint32_t temp_registers = 8);
+
+    /** Program identifier within its library. */
+    ShaderId id() const { return _id; }
+
+    /** Pipeline stage. */
+    ShaderStage stage() const { return _stage; }
+
+    /** Human-readable name (e.g. "ps_env_lit_2tex"). */
+    const std::string &name() const { return _name; }
+
+    /** Per-invocation instruction mix. */
+    const InstructionMix &mix() const { return _mix; }
+
+    /** Temporary (general-purpose) register footprint. */
+    std::uint32_t tempRegisters() const { return _tempRegisters; }
+
+    /** True if the program has a valid id. */
+    bool valid() const { return _id != invalidShaderId; }
+
+    /** Equality over all fields. */
+    bool operator==(const ShaderProgram &other) const = default;
+
+  private:
+    ShaderId _id = invalidShaderId;
+    ShaderStage _stage = ShaderStage::Vertex;
+    std::string _name;
+    InstructionMix _mix;
+    std::uint32_t _tempRegisters = 8;
+};
+
+} // namespace gws
+
+#endif // GWS_SHADER_SHADER_PROGRAM_HH

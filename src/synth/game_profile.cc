@@ -1,0 +1,207 @@
+#include "synth/game_profile.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(SuiteScale scale)
+{
+    switch (scale) {
+      case SuiteScale::Ci:
+        return "ci";
+      case SuiteScale::Paper:
+        return "paper";
+    }
+    GWS_PANIC("unknown suite scale ", static_cast<int>(scale));
+}
+
+SuiteScale
+parseSuiteScale(const std::string &text)
+{
+    if (text == "ci")
+        return SuiteScale::Ci;
+    if (text == "paper")
+        return SuiteScale::Paper;
+    GWS_FATAL("unknown scale '", text, "' (expected 'ci' or 'paper')");
+}
+
+void
+GameProfile::validate() const
+{
+    GWS_ASSERT(levels >= 1, "need at least one level");
+    GWS_ASSERT(segments >= 1, "need at least one segment");
+    GWS_ASSERT(segmentFramesMin >= 1 &&
+                   segmentFramesMax >= segmentFramesMin,
+               "bad segment frame range");
+    GWS_ASSERT(materialsPerLevel >= 1, "need materials");
+    GWS_ASSERT(pixelShadersPerLevel >= 1, "need pixel shaders");
+    GWS_ASSERT(vertexShadersPerLevel >= 1, "need vertex shaders");
+    GWS_ASSERT(texturesPerLevel >= 1, "need textures");
+    GWS_ASSERT(drawsPerFrame >= 1.0, "need at least ~1 draw per frame");
+    GWS_ASSERT(medianPixelsPerDraw > 0.0, "pixel median must be positive");
+    GWS_ASSERT(medianVertsPerDraw > 0.0, "vertex median must be positive");
+    GWS_ASSERT(pixelSigma >= 0.0 && vertSigma >= 0.0 &&
+                   effectPixelSigma >= 0.0,
+               "sigmas must be non-negative");
+    GWS_ASSERT(effectMaterialFraction >= 0.0 &&
+                   effectMaterialFraction <= 1.0,
+               "effect fraction out of [0,1]");
+    GWS_ASSERT(blendFraction >= 0.0 && blendFraction <= 1.0,
+               "blend fraction out of [0,1]");
+    GWS_ASSERT(rtWidth >= 64 && rtHeight >= 64, "render target too small");
+}
+
+namespace {
+
+/**
+ * Apply the scale knobs. CI keeps every game small; Paper sizes the
+ * suite so the sampled characterization corpus reaches 717 frames and
+ * ~828K draw calls (~1155 draws/frame on average).
+ */
+GameProfile
+scaled(GameProfile p, SuiteScale scale, double paper_dpf,
+       std::uint32_t paper_materials)
+{
+    if (scale == SuiteScale::Paper) {
+        p.drawsPerFrame = paper_dpf;
+        p.materialsPerLevel = paper_materials;
+        p.segmentFramesMin *= 3;
+        p.segmentFramesMax *= 3;
+        p.texturesPerLevel *= 3;
+        p.pixelShadersPerLevel += p.pixelShadersPerLevel / 2;
+        p.hudMaterials += 4;
+    }
+    p.validate();
+    return p;
+}
+
+} // namespace
+
+std::vector<GameProfile>
+builtinSuite(SuiteScale scale)
+{
+    std::vector<GameProfile> suite;
+    for (const auto &name : builtinGameNames())
+        suite.push_back(builtinProfile(name, scale));
+    return suite;
+}
+
+GameProfile
+builtinProfile(const std::string &name, SuiteScale scale)
+{
+    GameProfile p;
+    p.name = name;
+    if (name == "shock1") {
+        // Corridor FPS with strong level revisits (the series' first
+        // game: fewer environments, dense atmosphere shaders).
+        p.seed = 0x5110c701;
+        p.levels = 4;
+        p.segments = 10;
+        p.segmentFramesMin = 10;
+        p.segmentFramesMax = 20;
+        p.materialsPerLevel = 38;
+        p.pixelShadersPerLevel = 14;
+        p.vertexShadersPerLevel = 4;
+        p.texturesPerLevel = 44;
+        p.drawsPerFrame = 110.0;
+        p.blendFraction = 0.20;
+        p.effectMaterialFraction = 0.035;
+        return scaled(p, scale, 1030.0, 340);
+    }
+    if (name == "shock2") {
+        p.seed = 0x5110c702;
+        p.levels = 5;
+        p.segments = 11;
+        p.segmentFramesMin = 9;
+        p.segmentFramesMax = 19;
+        p.materialsPerLevel = 42;
+        p.pixelShadersPerLevel = 16;
+        p.vertexShadersPerLevel = 5;
+        p.texturesPerLevel = 50;
+        p.drawsPerFrame = 120.0;
+        p.blendFraction = 0.22;
+        p.effectMaterialFraction = 0.04;
+        return scaled(p, scale, 1153.0, 380);
+    }
+    if (name == "shockinf") {
+        // The third game: open skyline environments, biggest shader
+        // pools, most pixels on screen.
+        p.seed = 0x5110c703;
+        p.levels = 6;
+        p.segments = 12;
+        p.segmentFramesMin = 8;
+        p.segmentFramesMax = 18;
+        p.materialsPerLevel = 46;
+        p.pixelShadersPerLevel = 20;
+        p.vertexShadersPerLevel = 6;
+        p.texturesPerLevel = 56;
+        p.drawsPerFrame = 132.0;
+        p.medianPixelsPerDraw = 3600.0;
+        p.blendFraction = 0.24;
+        p.effectMaterialFraction = 0.045;
+        return scaled(p, scale, 1267.0, 420);
+    }
+    if (name == "frontier") {
+        // Open-world: few distinct biomes, many draws, long segments.
+        p.seed = 0xf4011713;
+        p.levels = 3;
+        p.segments = 8;
+        p.segmentFramesMin = 13;
+        p.segmentFramesMax = 26;
+        p.materialsPerLevel = 52;
+        p.pixelShadersPerLevel = 17;
+        p.vertexShadersPerLevel = 6;
+        p.texturesPerLevel = 60;
+        p.drawsPerFrame = 150.0;
+        p.medianVertsPerDraw = 420.0;
+        p.blendFraction = 0.15;
+        p.effectMaterialFraction = 0.03;
+        return scaled(p, scale, 1421.0, 465);
+    }
+    if (name == "vanguard") {
+        // Sci-fi arena shooter: mid-size pools, lots of effects.
+        p.seed = 0x7a267a2d;
+        p.levels = 4;
+        p.segments = 9;
+        p.segmentFramesMin = 10;
+        p.segmentFramesMax = 20;
+        p.materialsPerLevel = 36;
+        p.pixelShadersPerLevel = 13;
+        p.vertexShadersPerLevel = 4;
+        p.texturesPerLevel = 40;
+        p.drawsPerFrame = 100.0;
+        p.blendFraction = 0.26;
+        p.effectMaterialFraction = 0.05;
+        return scaled(p, scale, 989.0, 330);
+    }
+    if (name == "circuit") {
+        // Racer: high overdraw (foliage, fences), repetitive track
+        // sections, strong frame-to-frame coherence.
+        p.seed = 0xc12c0171;
+        p.levels = 3;
+        p.segments = 8;
+        p.segmentFramesMin = 11;
+        p.segmentFramesMax = 22;
+        p.materialsPerLevel = 40;
+        p.pixelShadersPerLevel = 12;
+        p.vertexShadersPerLevel = 4;
+        p.texturesPerLevel = 46;
+        p.drawsPerFrame = 115.0;
+        p.medianPixelsPerDraw = 4200.0;
+        p.blendFraction = 0.28;
+        p.effectMaterialFraction = 0.03;
+        return scaled(p, scale, 1112.0, 370);
+    }
+    GWS_FATAL("unknown built-in game '", name, "' (have: shock1, shock2, "
+              "shockinf, frontier, vanguard, circuit)");
+}
+
+std::vector<std::string>
+builtinGameNames()
+{
+    return {"shock1", "shock2", "shockinf", "frontier", "vanguard",
+            "circuit"};
+}
+
+} // namespace gws

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Declarative description of a synthetic game used to generate traces.
+ *
+ * A profile captures the structural properties the subsetting
+ * methodology keys on: how many distinct level environments exist
+ * (phase structure), how rich each level's material and shader pool is
+ * (clustering structure), how much per-draw jitter materials exhibit
+ * (intra-cluster error), and how often heavy-tailed effect draws occur
+ * (cluster outliers).
+ */
+
+#ifndef GWS_SYNTH_GAME_PROFILE_HH
+#define GWS_SYNTH_GAME_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gws {
+
+/** Scale of a generated suite. */
+enum class SuiteScale : std::uint8_t
+{
+    /** Small and fast: unit tests and default bench runs. */
+    Ci = 0,
+
+    /** Full scale: 717-frame / ~828K-draw characterization corpus. */
+    Paper = 1,
+};
+
+/** Printable scale name ("ci" / "paper"). */
+const char *toString(SuiteScale scale);
+
+/** Parse "ci" / "paper"; fatal() on anything else (user input). */
+SuiteScale parseSuiteScale(const std::string &text);
+
+/** Parameters of one synthetic game. */
+struct GameProfile
+{
+    /** Game name, e.g. "shock1". */
+    std::string name = "game";
+
+    /** Master seed; every stream derives from it. */
+    std::uint64_t seed = 1;
+
+    // --- world structure -------------------------------------------------
+    /** Distinct level environments (phase alphabet size). */
+    std::uint32_t levels = 4;
+
+    /** Playthrough segments (levels are revisited when > levels). */
+    std::uint32_t segments = 10;
+
+    /** Frames per segment: uniform in [min, max]. */
+    std::uint32_t segmentFramesMin = 24;
+    std::uint32_t segmentFramesMax = 60;
+
+    // --- per-level content -------------------------------------------------
+    /** Materials per level (upper bound on clusters per frame). */
+    std::uint32_t materialsPerLevel = 40;
+
+    /** Pixel shaders per level pool. */
+    std::uint32_t pixelShadersPerLevel = 14;
+
+    /** Vertex shaders per level pool. */
+    std::uint32_t vertexShadersPerLevel = 4;
+
+    /** Textures per level pool. */
+    std::uint32_t texturesPerLevel = 48;
+
+    /** HUD/UI materials shared by every level. */
+    std::uint32_t hudMaterials = 6;
+
+    // --- per-frame workload -------------------------------------------------
+    /** Mean draw calls per frame (before camera modulation). */
+    double drawsPerFrame = 120.0;
+
+    /** Median shaded pixels of a scene draw. */
+    double medianPixelsPerDraw = 3000.0;
+
+    /** Median vertices of a scene draw. */
+    double medianVertsPerDraw = 320.0;
+
+    /** Log-normal sigma of per-draw pixel jitter within a material. */
+    double pixelSigma = 0.16;
+
+    /** Log-normal sigma of per-draw vertex jitter within a material. */
+    double vertSigma = 0.08;
+
+    /** Fraction of materials that are heavy-tailed effects. */
+    double effectMaterialFraction = 0.05;
+
+    /** Log-normal sigma of effect-draw pixel jitter (heavy tail). */
+    double effectPixelSigma = 0.9;
+
+    /** Fraction of materials with blending enabled. */
+    double blendFraction = 0.18;
+
+    // --- output surface ---------------------------------------------------
+    /** Render-target width. */
+    std::uint32_t rtWidth = 1920;
+
+    /** Render-target height. */
+    std::uint32_t rtHeight = 1080;
+
+    /** Panics if any parameter is out of range. */
+    void validate() const;
+};
+
+/**
+ * The built-in six-game suite: three BioShock-series analogues
+ * (shock1, shock2, shockinf) plus three genre-diversity games
+ * (frontier, vanguard, circuit), at the requested scale.
+ */
+std::vector<GameProfile> builtinSuite(SuiteScale scale);
+
+/** Profile of one built-in game by name; fatal() if unknown. */
+GameProfile builtinProfile(const std::string &name, SuiteScale scale);
+
+/** Names of the built-in games in canonical order. */
+std::vector<std::string> builtinGameNames();
+
+} // namespace gws
+
+#endif // GWS_SYNTH_GAME_PROFILE_HH

@@ -1,0 +1,361 @@
+#include "synth/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace gws {
+
+namespace {
+
+/** RNG fork tags; fixed so streams never shift as code evolves. */
+enum : std::uint64_t
+{
+    tagSchedule = 1,
+    tagContent = 2,
+    tagFrames = 3,
+};
+
+/** One material's generation parameters (internal). */
+struct Material
+{
+    std::uint32_t id = 0;
+    ShaderId vs = invalidShaderId;
+    ShaderId ps = invalidShaderId;
+    std::vector<TextureId> textures;
+    PrimitiveTopology topology = PrimitiveTopology::TriangleList;
+    std::uint32_t strideBytes = 32;
+    std::uint32_t instanceCount = 1;
+    double medianPixels = 3000.0;
+    double medianVerts = 320.0;
+    double pixelSigma = 0.16;
+    double vertSigma = 0.08;
+    double overdraw = 1.3;
+    double texLocality = 0.85;
+    bool blend = false;
+    bool depthTest = true;
+    bool depthWrite = true;
+    bool effect = false;
+    double drawRate = 1.0; // mean draws per frame when visible
+    double visPhase = 0.0;
+    double visFreq = 0.01;
+};
+
+/** Per-level generated content (internal). */
+struct Level
+{
+    std::vector<Material> materials; // includes the sky material at [0]
+};
+
+/** Synthesize one pixel shader's instruction mix. */
+InstructionMix
+makePixelMix(Rng &rng)
+{
+    InstructionMix m;
+    m.aluOps = static_cast<std::uint32_t>(rng.uniformInt(8, 56));
+    m.maddOps = static_cast<std::uint32_t>(rng.uniformInt(4, 40));
+    m.specialOps = static_cast<std::uint32_t>(rng.uniformInt(0, 6));
+    m.texOps = static_cast<std::uint32_t>(rng.uniformInt(1, 4));
+    m.interpOps = static_cast<std::uint32_t>(rng.uniformInt(4, 12));
+    m.controlOps = static_cast<std::uint32_t>(rng.uniformInt(0, 6));
+    return m;
+}
+
+/** Synthesize one vertex shader's instruction mix. */
+InstructionMix
+makeVertexMix(Rng &rng)
+{
+    InstructionMix m;
+    m.aluOps = static_cast<std::uint32_t>(rng.uniformInt(12, 40));
+    m.maddOps = static_cast<std::uint32_t>(rng.uniformInt(8, 30));
+    m.specialOps = static_cast<std::uint32_t>(rng.uniformInt(0, 2));
+    m.texOps = 0;
+    m.interpOps = 0;
+    m.controlOps = static_cast<std::uint32_t>(rng.uniformInt(0, 4));
+    return m;
+}
+
+/** Visibility modulation of a material at a playthrough frame. */
+double
+visibility(const Material &m, std::uint64_t frame)
+{
+    const double s =
+        std::sin(2.0 * M_PI * m.visFreq * static_cast<double>(frame) +
+                 m.visPhase);
+    if (m.effect) {
+        // Effects are bursty: mostly quiet, occasionally very active.
+        return s > 0.35 ? 1.8 : 0.15;
+    }
+    return std::max(0.15, 1.0 + 0.35 * s);
+}
+
+} // namespace
+
+GameGenerator::GameGenerator(GameProfile profile) : prof(std::move(profile))
+{
+    prof.validate();
+}
+
+std::vector<std::uint32_t>
+GameGenerator::levelSchedule() const
+{
+    Rng rng = Rng(prof.seed).fork(tagSchedule);
+    std::vector<std::uint32_t> schedule;
+    schedule.reserve(prof.segments);
+    std::uint32_t next_unvisited = 0;
+    for (std::uint32_t s = 0; s < prof.segments; ++s) {
+        const bool all_visited = next_unvisited >= prof.levels;
+        // Bias early segments toward introducing new levels so every
+        // level appears when segments >= levels; later segments revisit.
+        const bool revisit =
+            all_visited ||
+            (next_unvisited > 0 &&
+             rng.bernoulli(0.45) &&
+             prof.segments - s >
+                 prof.levels - next_unvisited);
+        if (revisit) {
+            schedule.push_back(static_cast<std::uint32_t>(
+                rng.index(next_unvisited)));
+        } else {
+            schedule.push_back(next_unvisited++);
+        }
+    }
+    return schedule;
+}
+
+std::vector<std::uint32_t>
+GameGenerator::segmentFrames() const
+{
+    Rng rng = Rng(prof.seed).fork(tagSchedule).fork(7);
+    std::vector<std::uint32_t> frames;
+    frames.reserve(prof.segments);
+    for (std::uint32_t s = 0; s < prof.segments; ++s) {
+        frames.push_back(static_cast<std::uint32_t>(
+            rng.uniformInt(prof.segmentFramesMin, prof.segmentFramesMax)));
+    }
+    return frames;
+}
+
+Trace
+GameGenerator::generate() const
+{
+    Trace trace(prof.name);
+    Rng content_rng = Rng(prof.seed).fork(tagContent);
+
+    const RenderTargetId rt = trace.addRenderTarget(
+        RenderTargetDesc{prof.rtWidth, prof.rtHeight, 4});
+    const double rt_pixels = static_cast<double>(
+        trace.renderTarget(rt).pixels());
+
+    // ---- HUD content shared by all levels -------------------------------
+    std::vector<Material> hud;
+    {
+        Rng rng = content_rng.fork(1000);
+        const ShaderId hud_vs = trace.shaders().add(
+            ShaderStage::Vertex, "vs_hud", makeVertexMix(rng));
+        const ShaderId hud_ps = trace.shaders().add(
+            ShaderStage::Pixel, "ps_hud", makePixelMix(rng));
+        for (std::uint32_t i = 0; i < prof.hudMaterials; ++i) {
+            Material m;
+            m.id = i; // HUD ids occupy [0, hudMaterials)
+            m.vs = hud_vs;
+            m.ps = hud_ps;
+            m.textures = {trace.addTexture(
+                TextureDesc{256, 256, 4, false})};
+            m.topology = PrimitiveTopology::TriangleStrip;
+            m.strideBytes = 20;
+            m.medianVerts = 4.0;
+            m.medianPixels = rng.uniform(1500.0, 12000.0);
+            m.pixelSigma = 0.03;
+            m.vertSigma = 0.0;
+            m.overdraw = 1.0;
+            m.blend = true;
+            m.depthTest = false;
+            m.depthWrite = false;
+            m.drawRate = 1.0;
+            hud.push_back(m);
+        }
+    }
+
+    // ---- per-level content ------------------------------------------------
+    std::uint32_t next_material_id = prof.hudMaterials;
+    std::vector<Level> levels(prof.levels);
+    for (std::uint32_t li = 0; li < prof.levels; ++li) {
+        Rng rng = content_rng.fork(li + 1);
+        Level &level = levels[li];
+
+        std::vector<ShaderId> vs_pool;
+        for (std::uint32_t i = 0; i < prof.vertexShadersPerLevel; ++i) {
+            vs_pool.push_back(trace.shaders().add(
+                ShaderStage::Vertex,
+                "vs_l" + std::to_string(li) + "_" + std::to_string(i),
+                makeVertexMix(rng)));
+        }
+        std::vector<ShaderId> ps_pool;
+        for (std::uint32_t i = 0; i < prof.pixelShadersPerLevel; ++i) {
+            ps_pool.push_back(trace.shaders().add(
+                ShaderStage::Pixel,
+                "ps_l" + std::to_string(li) + "_" + std::to_string(i),
+                makePixelMix(rng)));
+        }
+        std::vector<TextureId> tex_pool;
+        for (std::uint32_t i = 0; i < prof.texturesPerLevel; ++i) {
+            const std::uint32_t dim = 128u << rng.uniformInt(1, 4);
+            tex_pool.push_back(trace.addTexture(
+                TextureDesc{dim, dim,
+                            rng.bernoulli(0.2) ? 8u : 4u, true}));
+        }
+
+        // Sky: one full-screen cheap draw per frame.
+        {
+            Material sky;
+            sky.id = next_material_id++;
+            sky.vs = vs_pool[0];
+            sky.ps = ps_pool[0];
+            sky.textures = {tex_pool[0]};
+            sky.strideBytes = 16;
+            sky.medianVerts = 8.0;
+            sky.medianPixels = rt_pixels;
+            sky.pixelSigma = 0.0;
+            sky.vertSigma = 0.0;
+            sky.overdraw = 1.0;
+            sky.texLocality = 0.97;
+            sky.depthWrite = false;
+            sky.drawRate = 1.0;
+            level.materials.push_back(sky);
+        }
+
+        // Scene materials with a log-normal popularity distribution.
+        std::vector<double> weights;
+        for (std::uint32_t mi = 0; mi < prof.materialsPerLevel; ++mi)
+            weights.push_back(rng.logNormal(0.0, 0.5));
+        const double weight_sum =
+            std::accumulate(weights.begin(), weights.end(), 0.0);
+        // Scene draw budget: total minus sky and HUD.
+        const double scene_rate =
+            std::max(1.0, prof.drawsPerFrame - 1.0 -
+                              static_cast<double>(prof.hudMaterials));
+
+        for (std::uint32_t mi = 0; mi < prof.materialsPerLevel; ++mi) {
+            Material m;
+            m.id = next_material_id++;
+            m.vs = vs_pool[rng.index(vs_pool.size())];
+            m.ps = ps_pool[rng.index(ps_pool.size())];
+            const std::size_t n_tex =
+                static_cast<std::size_t>(rng.uniformInt(1, 4));
+            for (std::size_t t = 0; t < n_tex; ++t)
+                m.textures.push_back(
+                    tex_pool[rng.index(tex_pool.size())]);
+            m.topology = rng.bernoulli(0.12)
+                             ? PrimitiveTopology::TriangleStrip
+                             : PrimitiveTopology::TriangleList;
+            m.strideBytes =
+                static_cast<std::uint32_t>(rng.uniformInt(6, 12)) * 4;
+            m.instanceCount = rng.bernoulli(0.1)
+                                  ? static_cast<std::uint32_t>(
+                                        rng.uniformInt(2, 6))
+                                  : 1;
+            m.medianPixels =
+                prof.medianPixelsPerDraw * rng.logNormal(0.0, 0.9);
+            m.medianVerts =
+                prof.medianVertsPerDraw * rng.logNormal(0.0, 0.8);
+            m.effect = rng.bernoulli(prof.effectMaterialFraction);
+            m.pixelSigma = m.effect ? prof.effectPixelSigma
+                                    : prof.pixelSigma;
+            m.vertSigma = m.effect ? prof.vertSigma * 3.0
+                                   : prof.vertSigma;
+            m.overdraw = std::clamp(1.0 + rng.exponential(2.5), 1.0, 4.0);
+            m.texLocality = m.effect ? rng.uniform(0.5, 0.8)
+                                     : rng.uniform(0.7, 0.95);
+            m.blend = m.effect || rng.bernoulli(prof.blendFraction);
+            m.depthWrite = !m.blend;
+            m.drawRate = scene_rate * weights[mi] / weight_sum;
+            m.visPhase = rng.uniform(0.0, 2.0 * M_PI);
+            m.visFreq = rng.uniform(0.002, 0.02);
+            level.materials.push_back(m);
+        }
+    }
+
+    // ---- playthrough ---------------------------------------------------
+    const auto schedule = levelSchedule();
+    const auto seg_frames = segmentFrames();
+    Rng frame_rng = Rng(prof.seed).fork(tagFrames);
+    std::uint64_t global_frame = 0;
+    std::uint32_t frame_index = 0;
+    const double max_covered = rt_pixels;
+
+    auto emit_draw = [&](Frame &frame, const Material &m, Rng &rng,
+                         double zoom) {
+        DrawCall d;
+        d.state.vertexShader = m.vs;
+        d.state.pixelShader = m.ps;
+        d.state.textures = m.textures;
+        d.state.renderTarget = rt;
+        d.state.blendEnabled = m.blend;
+        d.state.depthTestEnabled = m.depthTest;
+        d.state.depthWriteEnabled = m.depthWrite;
+        d.topology = m.topology;
+        d.vertexStrideBytes = m.strideBytes;
+        d.instanceCount = m.instanceCount;
+
+        const double verts = m.medianVerts *
+                             (m.vertSigma > 0.0
+                                  ? rng.logNormal(0.0, m.vertSigma)
+                                  : 1.0);
+        d.vertexCount = static_cast<std::uint32_t>(
+            std::clamp(verts, 3.0, 2.0e6));
+
+        d.overdraw = std::max(
+            1.0, m.overdraw * (m.pixelSigma > 0.0
+                                   ? rng.logNormal(0.0, 0.05)
+                                   : 1.0));
+        double pixels = m.medianPixels * zoom *
+                        (m.pixelSigma > 0.0
+                             ? rng.logNormal(0.0, m.pixelSigma)
+                             : 1.0);
+        pixels = std::clamp(pixels, 1.0, max_covered * d.overdraw);
+        d.shadedPixels = static_cast<std::uint64_t>(std::llround(pixels));
+
+        d.texLocality = std::clamp(
+            m.texLocality + rng.normal(0.0, 0.01), 0.0, 1.0);
+        d.materialId = m.id;
+        frame.addDraw(std::move(d));
+    };
+
+    for (std::size_t seg = 0; seg < schedule.size(); ++seg) {
+        const Level &level = levels[schedule[seg]];
+        for (std::uint32_t f = 0; f < seg_frames[seg]; ++f) {
+            Rng rng = frame_rng.fork(global_frame + 1);
+            Frame frame(frame_index++);
+            const double zoom = std::exp(
+                0.18 * std::sin(2.0 * M_PI *
+                                static_cast<double>(global_frame) /
+                                97.0));
+
+            // Scene (sky first, then materials in table order — the
+            // state-sorted submission order a real engine produces).
+            for (const Material &m : level.materials) {
+                const double rate =
+                    m.drawRate * visibility(m, global_frame);
+                std::uint64_t n =
+                    &m == &level.materials.front()
+                        ? 1
+                        : rng.poisson(rate);
+                for (std::uint64_t k = 0; k < n; ++k)
+                    emit_draw(frame, m, rng, zoom);
+            }
+            // HUD overlay last.
+            for (const Material &m : hud)
+                emit_draw(frame, m, rng, 1.0);
+
+            ++global_frame;
+            trace.addFrame(std::move(frame));
+        }
+    }
+    return trace;
+}
+
+} // namespace gws

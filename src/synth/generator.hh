@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The synthetic game generator: turns a GameProfile into a full
+ * playthrough Trace. Generation is a pure function of the profile
+ * (including its seed) — regenerating a profile always yields a
+ * bit-identical trace.
+ *
+ * Structure produced:
+ *  - one color render target, per-level texture and shader pools;
+ *  - per-level material tables; each material fixes its shaders,
+ *    textures, topology, blending, median geometry/coverage, and
+ *    per-draw jitter (tight for scene materials, heavy-tailed for
+ *    effect materials);
+ *  - a playthrough schedule of segments that revisits levels (the
+ *    source of recurring phases);
+ *  - per frame: a sky draw, Poisson-sampled draws per active material
+ *    with camera-driven coverage modulation, then HUD overlay draws.
+ */
+
+#ifndef GWS_SYNTH_GENERATOR_HH
+#define GWS_SYNTH_GENERATOR_HH
+
+#include <vector>
+
+#include "synth/game_profile.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Generates traces from game profiles. */
+class GameGenerator
+{
+  public:
+    /** Construct for a validated profile. */
+    explicit GameGenerator(GameProfile profile);
+
+    /** Generate the full playthrough trace. */
+    Trace generate() const;
+
+    /**
+     * Ground-truth level id of each playthrough segment, in order.
+     * Used only to validate phase detection, never by the methodology.
+     */
+    std::vector<std::uint32_t> levelSchedule() const;
+
+    /** Frames in each segment, aligned with levelSchedule(). */
+    std::vector<std::uint32_t> segmentFrames() const;
+
+    /** The profile being generated. */
+    const GameProfile &profile() const { return prof; }
+
+  private:
+    GameProfile prof;
+};
+
+} // namespace gws
+
+#endif // GWS_SYNTH_GENERATOR_HH

@@ -1,0 +1,87 @@
+#include "synth/suite.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+std::vector<Trace>
+generateSuite(SuiteScale scale)
+{
+    std::vector<Trace> suite;
+    for (const auto &profile : builtinSuite(scale))
+        suite.push_back(GameGenerator(profile).generate());
+    return suite;
+}
+
+std::vector<CorpusFrame>
+sampleCorpus(const std::vector<Trace> &suite, std::uint64_t target_frames)
+{
+    GWS_ASSERT(target_frames >= 1, "corpus must have at least one frame");
+    std::uint64_t total = 0;
+    for (const auto &t : suite)
+        total += t.frameCount();
+    GWS_ASSERT(total > 0, "suite has no frames");
+
+    std::vector<CorpusFrame> corpus;
+    if (total <= target_frames) {
+        for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+            for (std::uint32_t fi = 0; fi < suite[ti].frameCount(); ++fi)
+                corpus.push_back({ti, fi});
+        }
+        return corpus;
+    }
+
+    // Largest-remainder apportionment of the target across traces,
+    // then an even stride within each trace.
+    std::vector<std::uint64_t> quota(suite.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::uint64_t assigned = 0;
+    for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+        const double exact =
+            static_cast<double>(target_frames) *
+            static_cast<double>(suite[ti].frameCount()) /
+            static_cast<double>(total);
+        quota[ti] = static_cast<std::uint64_t>(exact);
+        assigned += quota[ti];
+        remainders.push_back({exact - static_cast<double>(quota[ti]), ti});
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    for (std::size_t i = 0; assigned < target_frames && i < remainders.size();
+         ++i, ++assigned)
+        ++quota[remainders[i].second];
+
+    for (std::size_t ti = 0; ti < suite.size(); ++ti) {
+        const std::uint64_t n = std::min<std::uint64_t>(
+            quota[ti], suite[ti].frameCount());
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const auto fi = static_cast<std::uint32_t>(
+                k * suite[ti].frameCount() / n);
+            corpus.push_back({ti, fi});
+        }
+    }
+    return corpus;
+}
+
+std::uint64_t
+defaultCorpusFrames(SuiteScale scale)
+{
+    return scale == SuiteScale::Paper ? paperCorpusFrames : 72;
+}
+
+std::uint64_t
+corpusDraws(const std::vector<Trace> &suite,
+            const std::vector<CorpusFrame> &corpus)
+{
+    std::uint64_t draws = 0;
+    for (const auto &cf : corpus) {
+        GWS_ASSERT(cf.traceIndex < suite.size(), "corpus trace index");
+        draws += suite[cf.traceIndex].frame(cf.frameIndex).drawCount();
+    }
+    return draws;
+}
+
+} // namespace gws

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Suite-level helpers: generate the built-in six-game suite and sample
+ * the fixed-size characterization corpus (the paper's 717 frames /
+ * ~828K draw calls at paper scale) from the playthroughs.
+ */
+
+#ifndef GWS_SYNTH_SUITE_HH
+#define GWS_SYNTH_SUITE_HH
+
+#include <vector>
+
+#include "synth/game_profile.hh"
+#include "synth/generator.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Reference into one frame of one trace of a suite. */
+struct CorpusFrame
+{
+    /** Index of the trace within the suite. */
+    std::size_t traceIndex = 0;
+
+    /** Frame index within that trace. */
+    std::uint32_t frameIndex = 0;
+};
+
+/** Number of corpus frames at paper scale (from the paper's abstract). */
+constexpr std::uint64_t paperCorpusFrames = 717;
+
+/** Generate playthrough traces for every built-in game. */
+std::vector<Trace> generateSuite(SuiteScale scale);
+
+/**
+ * Evenly sample target_frames frames across a suite, proportionally to
+ * each trace's length, preserving playthrough order within each trace.
+ * If the suite has fewer frames than requested, every frame is used.
+ */
+std::vector<CorpusFrame> sampleCorpus(const std::vector<Trace> &suite,
+                                      std::uint64_t target_frames);
+
+/** Default corpus size for a scale (717 at paper scale, 72 at CI). */
+std::uint64_t defaultCorpusFrames(SuiteScale scale);
+
+/** Total draw calls across the referenced corpus frames. */
+std::uint64_t corpusDraws(const std::vector<Trace> &suite,
+                          const std::vector<CorpusFrame> &corpus);
+
+} // namespace gws
+
+#endif // GWS_SYNTH_SUITE_HH

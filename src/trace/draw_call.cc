@@ -1,0 +1,34 @@
+#include "trace/draw_call.hh"
+
+#include <cmath>
+
+namespace gws {
+
+std::uint64_t
+DrawCall::vertices() const
+{
+    return static_cast<std::uint64_t>(vertexCount) * instanceCount;
+}
+
+std::uint64_t
+DrawCall::primitives() const
+{
+    return primitiveCount(topology, vertexCount) * instanceCount;
+}
+
+std::uint64_t
+DrawCall::vertexFetchBytes() const
+{
+    return vertices() * vertexStrideBytes;
+}
+
+std::uint64_t
+DrawCall::coveredPixels() const
+{
+    if (overdraw <= 1.0)
+        return shadedPixels;
+    return static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(shadedPixels) / overdraw));
+}
+
+} // namespace gws

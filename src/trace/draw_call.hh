@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The draw call — the unit of work the whole methodology operates on.
+ *
+ * A DrawCall records the API-visible render state plus the
+ * micro-architecture-independent execution statistics that a capture
+ * tool with GPU counters would attach (shaded-pixel count, overdraw,
+ * texture locality). It deliberately records nothing that depends on a
+ * particular GPU configuration.
+ */
+
+#ifndef GWS_TRACE_DRAW_CALL_HH
+#define GWS_TRACE_DRAW_CALL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "shader/shader_program.hh"
+#include "trace/resources.hh"
+#include "trace/topology.hh"
+
+namespace gws {
+
+/**
+ * The pipeline state bound for one draw call (the subset of D3D10/GL3
+ * state that affects per-draw cost).
+ */
+struct RenderState
+{
+    /** Bound vertex shader. */
+    ShaderId vertexShader = invalidShaderId;
+
+    /** Bound pixel shader. */
+    ShaderId pixelShader = invalidShaderId;
+
+    /** Bound texture resources (pixel-shader stage). */
+    std::vector<TextureId> textures;
+
+    /** Color render target. */
+    RenderTargetId renderTarget = invalidResourceId;
+
+    /** Alpha blending enabled (render target is read-modify-write). */
+    bool blendEnabled = false;
+
+    /** Depth test enabled (depth buffer is read). */
+    bool depthTestEnabled = true;
+
+    /** Depth writes enabled (depth buffer is written). */
+    bool depthWriteEnabled = true;
+
+    /** Equality over all fields. */
+    bool operator==(const RenderState &other) const = default;
+};
+
+/**
+ * One draw call: render state, geometry submission, and capture-side
+ * execution statistics.
+ */
+struct DrawCall
+{
+    /** Bound pipeline state. */
+    RenderState state;
+
+    /** Vertices submitted per instance. */
+    std::uint32_t vertexCount = 0;
+
+    /** Instance count (>= 1). */
+    std::uint32_t instanceCount = 1;
+
+    /** Primitive topology. */
+    PrimitiveTopology topology = PrimitiveTopology::TriangleList;
+
+    /** Vertex size in bytes (attribute fetch traffic per vertex). */
+    std::uint32_t vertexStrideBytes = 32;
+
+    /**
+     * Pixel-shader invocations this draw produced (includes overdraw;
+     * excludes pixels culled before shading). A capture tool reads this
+     * from pipeline statistics queries.
+     */
+    std::uint64_t shadedPixels = 0;
+
+    /**
+     * Average shaded-samples-per-covered-pixel (>= 1); 1 means no
+     * overdraw within this draw.
+     */
+    double overdraw = 1.0;
+
+    /**
+     * Spatial locality of this draw's texture accesses in [0, 1];
+     * higher values mean nearby fragments fetch nearby texels. Micro-
+     * architecture independent (a property of UVs, not of any cache).
+     */
+    double texLocality = 0.85;
+
+    /**
+     * Generator-side material tag. Ground truth for validation only —
+     * the subsetting methodology itself never reads it.
+     */
+    std::uint32_t materialId = 0;
+
+    /** Total vertex-shader invocations: vertexCount x instanceCount. */
+    std::uint64_t vertices() const;
+
+    /** Primitives assembled across all instances. */
+    std::uint64_t primitives() const;
+
+    /** Vertex attribute bytes fetched. */
+    std::uint64_t vertexFetchBytes() const;
+
+    /** Covered pixels net of overdraw (shadedPixels / overdraw). */
+    std::uint64_t coveredPixels() const;
+
+    /** Equality over all fields. */
+    bool operator==(const DrawCall &other) const = default;
+};
+
+} // namespace gws
+
+#endif // GWS_TRACE_DRAW_CALL_HH

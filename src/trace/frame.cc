@@ -1,0 +1,47 @@
+#include "trace/frame.hh"
+
+namespace gws {
+
+std::uint64_t
+Frame::totalVertices() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : drawList)
+        total += d.vertices();
+    return total;
+}
+
+std::uint64_t
+Frame::totalShadedPixels() const
+{
+    std::uint64_t total = 0;
+    for (const auto &d : drawList)
+        total += d.shadedPixels;
+    return total;
+}
+
+std::set<ShaderId>
+Frame::pixelShaderSet() const
+{
+    std::set<ShaderId> out;
+    for (const auto &d : drawList) {
+        if (d.state.pixelShader != invalidShaderId)
+            out.insert(d.state.pixelShader);
+    }
+    return out;
+}
+
+std::set<ShaderId>
+Frame::shaderSet() const
+{
+    std::set<ShaderId> out;
+    for (const auto &d : drawList) {
+        if (d.state.vertexShader != invalidShaderId)
+            out.insert(d.state.vertexShader);
+        if (d.state.pixelShader != invalidShaderId)
+            out.insert(d.state.pixelShader);
+    }
+    return out;
+}
+
+} // namespace gws

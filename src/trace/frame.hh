@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A frame: the ordered draw calls between two present events.
+ */
+
+#ifndef GWS_TRACE_FRAME_HH
+#define GWS_TRACE_FRAME_HH
+
+#include <set>
+#include <vector>
+
+#include "trace/draw_call.hh"
+
+namespace gws {
+
+/** One rendered frame of a trace. */
+class Frame
+{
+  public:
+    /** Construct an empty frame with its index in the trace. */
+    explicit Frame(std::uint32_t index = 0) : frameIndex(index) {}
+
+    /** Index of this frame within its trace. */
+    std::uint32_t index() const { return frameIndex; }
+
+    /** Append a draw call. */
+    void addDraw(DrawCall draw) { drawList.push_back(std::move(draw)); }
+
+    /** Ordered draw calls. */
+    const std::vector<DrawCall> &draws() const { return drawList; }
+
+    /** Mutable access for generators. */
+    std::vector<DrawCall> &draws() { return drawList; }
+
+    /** Number of draw calls. */
+    std::size_t drawCount() const { return drawList.size(); }
+
+    /** Total vertex-shader invocations over all draws. */
+    std::uint64_t totalVertices() const;
+
+    /** Total pixel-shader invocations over all draws. */
+    std::uint64_t totalShadedPixels() const;
+
+    /** Distinct pixel-shader IDs bound in this frame. */
+    std::set<ShaderId> pixelShaderSet() const;
+
+    /** Distinct shader IDs (both stages) bound in this frame. */
+    std::set<ShaderId> shaderSet() const;
+
+    /** Equality over index and all draws. */
+    bool operator==(const Frame &other) const = default;
+
+  private:
+    std::uint32_t frameIndex;
+    std::vector<DrawCall> drawList;
+};
+
+} // namespace gws
+
+#endif // GWS_TRACE_FRAME_HH

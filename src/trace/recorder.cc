@@ -1,0 +1,160 @@
+#include "trace/recorder.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+TraceRecorder::TraceRecorder(std::string name)
+    : trace(std::move(name)), current(0)
+{
+}
+
+ShaderId
+TraceRecorder::createVertexShader(std::string name, InstructionMix mix,
+                                  std::uint32_t temp_registers)
+{
+    return trace.shaders().add(ShaderStage::Vertex, std::move(name), mix,
+                               temp_registers);
+}
+
+ShaderId
+TraceRecorder::createPixelShader(std::string name, InstructionMix mix,
+                                 std::uint32_t temp_registers)
+{
+    return trace.shaders().add(ShaderStage::Pixel, std::move(name), mix,
+                               temp_registers);
+}
+
+TextureId
+TraceRecorder::createTexture(TextureDesc desc)
+{
+    return trace.addTexture(desc);
+}
+
+RenderTargetId
+TraceRecorder::createRenderTarget(RenderTargetDesc desc)
+{
+    return trace.addRenderTarget(desc);
+}
+
+void
+TraceRecorder::bindShaders(ShaderId vertex, ShaderId pixel)
+{
+    if (!trace.shaders().contains(vertex))
+        GWS_FATAL("bindShaders: unknown vertex shader id ", vertex);
+    if (!trace.shaders().contains(pixel))
+        GWS_FATAL("bindShaders: unknown pixel shader id ", pixel);
+    if (trace.shaders().get(vertex).stage() != ShaderStage::Vertex)
+        GWS_FATAL("bindShaders: shader ", vertex,
+                  " is not a vertex shader");
+    if (trace.shaders().get(pixel).stage() != ShaderStage::Pixel)
+        GWS_FATAL("bindShaders: shader ", pixel,
+                  " is not a pixel shader");
+    boundVs = vertex;
+    boundPs = pixel;
+}
+
+void
+TraceRecorder::bindTextures(std::vector<TextureId> textures)
+{
+    for (TextureId id : textures) {
+        if (id >= trace.textures().size())
+            GWS_FATAL("bindTextures: unknown texture id ", id);
+    }
+    boundTextures = std::move(textures);
+}
+
+void
+TraceRecorder::bindRenderTarget(RenderTargetId target)
+{
+    if (target >= trace.renderTargets().size())
+        GWS_FATAL("bindRenderTarget: unknown render target id ", target);
+    boundTarget = target;
+}
+
+void
+TraceRecorder::setBlendEnabled(bool enabled)
+{
+    blendEnabled = enabled;
+}
+
+void
+TraceRecorder::setDepthTestEnabled(bool enabled)
+{
+    depthTestEnabled = enabled;
+}
+
+void
+TraceRecorder::setDepthWriteEnabled(bool enabled)
+{
+    depthWriteEnabled = enabled;
+}
+
+void
+TraceRecorder::draw(const DrawParams &params)
+{
+    if (!boundVs || !boundPs)
+        GWS_FATAL("draw: no shaders bound");
+    if (!boundTarget)
+        GWS_FATAL("draw: no render target bound");
+    if (params.instanceCount < 1)
+        GWS_FATAL("draw: instance count must be at least 1");
+    if (params.overdraw < 1.0)
+        GWS_FATAL("draw: overdraw below 1: ", params.overdraw);
+    if (params.texLocality < 0.0 || params.texLocality > 1.0)
+        GWS_FATAL("draw: texLocality outside [0,1]: ",
+                  params.texLocality);
+
+    DrawCall d;
+    d.state.vertexShader = *boundVs;
+    d.state.pixelShader = *boundPs;
+    d.state.textures = boundTextures;
+    d.state.renderTarget = *boundTarget;
+    d.state.blendEnabled = blendEnabled;
+    d.state.depthTestEnabled = depthTestEnabled;
+    d.state.depthWriteEnabled = depthWriteEnabled;
+    d.vertexCount = params.vertexCount;
+    d.instanceCount = params.instanceCount;
+    d.topology = params.topology;
+    d.vertexStrideBytes = params.vertexStrideBytes;
+    d.shadedPixels = params.shadedPixels;
+    d.overdraw = params.overdraw;
+    d.texLocality = params.texLocality;
+    d.materialId = params.materialId;
+
+    const std::uint64_t rt_pixels =
+        trace.renderTarget(*boundTarget).pixels();
+    if (d.coveredPixels() > rt_pixels) {
+        GWS_FATAL("draw: covers ", d.coveredPixels(),
+                  " pixels but the bound target has only ", rt_pixels);
+    }
+    current.addDraw(std::move(d));
+}
+
+void
+TraceRecorder::present()
+{
+    const auto next_index =
+        static_cast<std::uint32_t>(trace.frameCount() + 1);
+    trace.addFrame(std::move(current));
+    current = Frame(next_index);
+}
+
+std::size_t
+TraceRecorder::pendingDraws() const
+{
+    return current.drawCount();
+}
+
+Trace
+TraceRecorder::finish() &&
+{
+    if (current.drawCount() > 0)
+        present();
+    trace.validate();
+    return std::move(trace);
+}
+
+} // namespace gws

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Immediate-mode trace recording API. A capture tool (or an engine
+ * integration) drives this the way it drives D3D10/GL3: create
+ * resources, bind state, issue draws, present frames. The recorder
+ * validates bindings as they happen and assembles a Trace identical in
+ * shape to what the synthetic generator produces, so everything
+ * downstream (features, clustering, phases, simulation) is agnostic
+ * to where a trace came from.
+ */
+
+#ifndef GWS_TRACE_RECORDER_HH
+#define GWS_TRACE_RECORDER_HH
+
+#include <optional>
+
+#include "trace/trace.hh"
+
+namespace gws {
+
+/**
+ * Builder with D3D-style bind-then-draw semantics.
+ *
+ * Usage:
+ *   TraceRecorder rec("mygame");
+ *   auto vs = rec.createVertexShader("vs", mix);
+ *   auto ps = rec.createPixelShader("ps", mix);
+ *   auto tex = rec.createTexture({1024, 1024, 4, true});
+ *   auto rt = rec.createRenderTarget({1920, 1080, 4});
+ *   rec.bindShaders(vs, ps);
+ *   rec.bindTextures({tex});
+ *   rec.bindRenderTarget(rt);
+ *   rec.draw(draw_params);
+ *   rec.present();                      // closes the frame
+ *   Trace t = std::move(rec).finish();  // closes a trailing open frame
+ */
+class TraceRecorder
+{
+  public:
+    /** Geometry and capture statistics of one draw. */
+    struct DrawParams
+    {
+        std::uint32_t vertexCount = 0;
+        std::uint32_t instanceCount = 1;
+        PrimitiveTopology topology = PrimitiveTopology::TriangleList;
+        std::uint32_t vertexStrideBytes = 32;
+        std::uint64_t shadedPixels = 0;
+        double overdraw = 1.0;
+        double texLocality = 0.85;
+        std::uint32_t materialId = 0;
+    };
+
+    /** Start recording a trace with the given name. */
+    explicit TraceRecorder(std::string name);
+
+    /** Register a vertex shader; returns its id. */
+    ShaderId createVertexShader(std::string name, InstructionMix mix,
+                                std::uint32_t temp_registers = 8);
+
+    /** Register a pixel shader; returns its id. */
+    ShaderId createPixelShader(std::string name, InstructionMix mix,
+                               std::uint32_t temp_registers = 8);
+
+    /** Register a texture; returns its id. */
+    TextureId createTexture(TextureDesc desc);
+
+    /** Register a render target; returns its id. */
+    RenderTargetId createRenderTarget(RenderTargetDesc desc);
+
+    /** Bind the shader pair; fatal() on a stage mismatch or bad id. */
+    void bindShaders(ShaderId vertex, ShaderId pixel);
+
+    /** Bind the texture set; fatal() on a bad id. */
+    void bindTextures(std::vector<TextureId> textures);
+
+    /** Bind the render target; fatal() on a bad id. */
+    void bindRenderTarget(RenderTargetId target);
+
+    /** Set the blend / depth state for subsequent draws. */
+    void setBlendEnabled(bool enabled);
+    void setDepthTestEnabled(bool enabled);
+    void setDepthWriteEnabled(bool enabled);
+
+    /**
+     * Record one draw with the current bindings. fatal() when a
+     * required binding is missing or the coverage exceeds the bound
+     * render target.
+     */
+    void draw(const DrawParams &params);
+
+    /** Close the current frame (even if it recorded no draws). */
+    void present();
+
+    /** Draws recorded into the currently open frame. */
+    std::size_t pendingDraws() const;
+
+    /** Frames completed so far. */
+    std::size_t frameCount() const { return trace.frameCount(); }
+
+    /**
+     * Finish recording and take the trace. A trailing frame with
+     * pending draws is presented implicitly; the result validates.
+     */
+    Trace finish() &&;
+
+  private:
+    Trace trace;
+    Frame current;
+    std::optional<ShaderId> boundVs;
+    std::optional<ShaderId> boundPs;
+    std::vector<TextureId> boundTextures;
+    std::optional<RenderTargetId> boundTarget;
+    bool blendEnabled = false;
+    bool depthTestEnabled = true;
+    bool depthWriteEnabled = true;
+};
+
+} // namespace gws
+
+#endif // GWS_TRACE_RECORDER_HH

@@ -1,0 +1,15 @@
+#include "trace/resources.hh"
+
+namespace gws {
+
+std::uint64_t
+TextureDesc::sizeBytes() const
+{
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(width) * height * bytesPerTexel;
+    // A full mip pyramid adds a geometric series that converges to 1/3
+    // of the base level.
+    return mipmapped ? base + base / 3 : base;
+}
+
+} // namespace gws

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GPU resource descriptors referenced by draw calls: textures and
+ * render targets. Like shaders, resources are stored in dense per-trace
+ * tables and referenced by index.
+ */
+
+#ifndef GWS_TRACE_RESOURCES_HH
+#define GWS_TRACE_RESOURCES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gws {
+
+/** Index of a texture in a trace's texture table. */
+using TextureId = std::uint32_t;
+
+/** Index of a render target in a trace's render-target table. */
+using RenderTargetId = std::uint32_t;
+
+/** Sentinel for "no resource". */
+constexpr std::uint32_t invalidResourceId = UINT32_MAX;
+
+/** Immutable description of a texture resource. */
+struct TextureDesc
+{
+    /** Texel width. */
+    std::uint32_t width = 0;
+
+    /** Texel height. */
+    std::uint32_t height = 0;
+
+    /** Bytes per texel of the storage format. */
+    std::uint32_t bytesPerTexel = 4;
+
+    /** Whether a full mip chain is present (adds ~1/3 storage). */
+    bool mipmapped = true;
+
+    /** Total storage footprint in bytes (incl. mip chain when present). */
+    std::uint64_t sizeBytes() const;
+
+    /** Equality over all fields. */
+    bool operator==(const TextureDesc &other) const = default;
+};
+
+/** Immutable description of a render target (color or depth). */
+struct RenderTargetDesc
+{
+    /** Pixel width. */
+    std::uint32_t width = 0;
+
+    /** Pixel height. */
+    std::uint32_t height = 0;
+
+    /** Bytes per pixel of the attachment format. */
+    std::uint32_t bytesPerPixel = 4;
+
+    /** Pixel area. */
+    std::uint64_t pixels() const
+    {
+        return static_cast<std::uint64_t>(width) * height;
+    }
+
+    /** Storage footprint in bytes. */
+    std::uint64_t sizeBytes() const { return pixels() * bytesPerPixel; }
+
+    /** Equality over all fields. */
+    bool operator==(const RenderTargetDesc &other) const = default;
+};
+
+} // namespace gws
+
+#endif // GWS_TRACE_RESOURCES_HH

@@ -1,0 +1,61 @@
+#include "trace/topology.hh"
+
+#include "util/logging.hh"
+
+namespace gws {
+
+const char *
+toString(PrimitiveTopology topology)
+{
+    switch (topology) {
+      case PrimitiveTopology::PointList:
+        return "point_list";
+      case PrimitiveTopology::LineList:
+        return "line_list";
+      case PrimitiveTopology::LineStrip:
+        return "line_strip";
+      case PrimitiveTopology::TriangleList:
+        return "triangle_list";
+      case PrimitiveTopology::TriangleStrip:
+        return "triangle_strip";
+    }
+    GWS_PANIC("unknown topology ", static_cast<int>(topology));
+}
+
+std::uint64_t
+primitiveCount(PrimitiveTopology topology, std::uint64_t vertex_count)
+{
+    switch (topology) {
+      case PrimitiveTopology::PointList:
+        return vertex_count;
+      case PrimitiveTopology::LineList:
+        return vertex_count / 2;
+      case PrimitiveTopology::LineStrip:
+        return vertex_count >= 2 ? vertex_count - 1 : 0;
+      case PrimitiveTopology::TriangleList:
+        return vertex_count / 3;
+      case PrimitiveTopology::TriangleStrip:
+        return vertex_count >= 3 ? vertex_count - 2 : 0;
+    }
+    GWS_PANIC("unknown topology ", static_cast<int>(topology));
+}
+
+std::uint32_t
+verticesPerPrimitive(PrimitiveTopology topology)
+{
+    switch (topology) {
+      case PrimitiveTopology::PointList:
+        return 1;
+      case PrimitiveTopology::LineList:
+        return 2;
+      case PrimitiveTopology::LineStrip:
+        return 1;
+      case PrimitiveTopology::TriangleList:
+        return 3;
+      case PrimitiveTopology::TriangleStrip:
+        return 1;
+    }
+    GWS_PANIC("unknown topology ", static_cast<int>(topology));
+}
+
+} // namespace gws

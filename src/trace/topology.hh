@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Primitive topology enumeration and vertex-to-primitive math, matching
+ * the Direct3D 10 / OpenGL 3 topologies the paper's workloads use.
+ */
+
+#ifndef GWS_TRACE_TOPOLOGY_HH
+#define GWS_TRACE_TOPOLOGY_HH
+
+#include <cstdint>
+
+namespace gws {
+
+/** Primitive assembly topology of a draw call. */
+enum class PrimitiveTopology : std::uint8_t
+{
+    PointList = 0,
+    LineList = 1,
+    LineStrip = 2,
+    TriangleList = 3,
+    TriangleStrip = 4,
+};
+
+/** Printable name of a topology. */
+const char *toString(PrimitiveTopology topology);
+
+/**
+ * Number of primitives assembled from vertex_count vertices under the
+ * given topology (0 when there are too few vertices to form one).
+ */
+std::uint64_t primitiveCount(PrimitiveTopology topology,
+                             std::uint64_t vertex_count);
+
+/** Vertices consumed per primitive for list topologies; strip step = 1. */
+std::uint32_t verticesPerPrimitive(PrimitiveTopology topology);
+
+} // namespace gws
+
+#endif // GWS_TRACE_TOPOLOGY_HH

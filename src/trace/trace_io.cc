@@ -1,0 +1,359 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gws {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x54535747; // "GWST" little-endian
+
+std::uint32_t
+checksum32(const std::string &payload)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+/** Append-only little-endian encoder into a string buffer. */
+class Encoder
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.append(s);
+    }
+
+    const std::string &data() const { return buf; }
+
+  private:
+    std::string buf;
+};
+
+/** Bounds-checked little-endian decoder over a string buffer. */
+class Decoder
+{
+  public:
+    explicit Decoder(std::string data) : buf(std::move(data)) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(buf[pos++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(buf[pos++]))
+                 << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(buf[pos++]))
+                 << (8 * i);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    bool exhausted() const { return pos == buf.size(); }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (pos + n > buf.size())
+            throw TraceIoError("trace payload truncated at byte " +
+                               std::to_string(pos));
+    }
+
+    std::string buf;
+    std::size_t pos = 0;
+};
+
+void
+encodeDraw(Encoder &e, const DrawCall &d)
+{
+    e.u32(d.state.vertexShader);
+    e.u32(d.state.pixelShader);
+    e.u32(static_cast<std::uint32_t>(d.state.textures.size()));
+    for (TextureId t : d.state.textures)
+        e.u32(t);
+    e.u32(d.state.renderTarget);
+    e.u8(d.state.blendEnabled ? 1 : 0);
+    e.u8(d.state.depthTestEnabled ? 1 : 0);
+    e.u8(d.state.depthWriteEnabled ? 1 : 0);
+    e.u32(d.vertexCount);
+    e.u32(d.instanceCount);
+    e.u8(static_cast<std::uint8_t>(d.topology));
+    e.u32(d.vertexStrideBytes);
+    e.u64(d.shadedPixels);
+    e.f64(d.overdraw);
+    e.f64(d.texLocality);
+    e.u32(d.materialId);
+}
+
+DrawCall
+decodeDraw(Decoder &dec)
+{
+    DrawCall d;
+    d.state.vertexShader = dec.u32();
+    d.state.pixelShader = dec.u32();
+    const std::uint32_t n_tex = dec.u32();
+    d.state.textures.reserve(n_tex);
+    for (std::uint32_t i = 0; i < n_tex; ++i)
+        d.state.textures.push_back(dec.u32());
+    d.state.renderTarget = dec.u32();
+    d.state.blendEnabled = dec.u8() != 0;
+    d.state.depthTestEnabled = dec.u8() != 0;
+    d.state.depthWriteEnabled = dec.u8() != 0;
+    d.vertexCount = dec.u32();
+    d.instanceCount = dec.u32();
+    const std::uint8_t topo = dec.u8();
+    if (topo > static_cast<std::uint8_t>(PrimitiveTopology::TriangleStrip))
+        throw TraceIoError("invalid topology value " +
+                           std::to_string(topo));
+    d.topology = static_cast<PrimitiveTopology>(topo);
+    d.vertexStrideBytes = dec.u32();
+    d.shadedPixels = dec.u64();
+    d.overdraw = dec.f64();
+    d.texLocality = dec.f64();
+    d.materialId = dec.u32();
+    return d;
+}
+
+std::string
+encodePayload(const Trace &trace)
+{
+    Encoder e;
+    e.str(trace.name());
+
+    e.u32(static_cast<std::uint32_t>(trace.shaders().size()));
+    for (const auto &sh : trace.shaders()) {
+        e.u8(static_cast<std::uint8_t>(sh.stage()));
+        e.str(sh.name());
+        const InstructionMix &m = sh.mix();
+        e.u32(m.aluOps);
+        e.u32(m.maddOps);
+        e.u32(m.specialOps);
+        e.u32(m.texOps);
+        e.u32(m.interpOps);
+        e.u32(m.controlOps);
+        e.u32(sh.tempRegisters());
+    }
+
+    e.u32(static_cast<std::uint32_t>(trace.textures().size()));
+    for (const auto &t : trace.textures()) {
+        e.u32(t.width);
+        e.u32(t.height);
+        e.u32(t.bytesPerTexel);
+        e.u8(t.mipmapped ? 1 : 0);
+    }
+
+    e.u32(static_cast<std::uint32_t>(trace.renderTargets().size()));
+    for (const auto &rt : trace.renderTargets()) {
+        e.u32(rt.width);
+        e.u32(rt.height);
+        e.u32(rt.bytesPerPixel);
+    }
+
+    e.u32(static_cast<std::uint32_t>(trace.frameCount()));
+    for (const auto &frame : trace.frames()) {
+        e.u32(static_cast<std::uint32_t>(frame.drawCount()));
+        for (const auto &d : frame.draws())
+            encodeDraw(e, d);
+    }
+    return e.data();
+}
+
+Trace
+decodePayload(const std::string &payload)
+{
+    Decoder dec(payload);
+    Trace trace(dec.str());
+
+    const std::uint32_t n_shaders = dec.u32();
+    for (std::uint32_t i = 0; i < n_shaders; ++i) {
+        const std::uint8_t stage = dec.u8();
+        if (stage > static_cast<std::uint8_t>(ShaderStage::Pixel))
+            throw TraceIoError("invalid shader stage " +
+                               std::to_string(stage));
+        std::string name = dec.str();
+        InstructionMix m;
+        m.aluOps = dec.u32();
+        m.maddOps = dec.u32();
+        m.specialOps = dec.u32();
+        m.texOps = dec.u32();
+        m.interpOps = dec.u32();
+        m.controlOps = dec.u32();
+        const std::uint32_t regs = dec.u32();
+        trace.shaders().add(static_cast<ShaderStage>(stage),
+                            std::move(name), m, regs);
+    }
+
+    const std::uint32_t n_tex = dec.u32();
+    for (std::uint32_t i = 0; i < n_tex; ++i) {
+        TextureDesc t;
+        t.width = dec.u32();
+        t.height = dec.u32();
+        t.bytesPerTexel = dec.u32();
+        t.mipmapped = dec.u8() != 0;
+        trace.addTexture(t);
+    }
+
+    const std::uint32_t n_rt = dec.u32();
+    for (std::uint32_t i = 0; i < n_rt; ++i) {
+        RenderTargetDesc rt;
+        rt.width = dec.u32();
+        rt.height = dec.u32();
+        rt.bytesPerPixel = dec.u32();
+        trace.addRenderTarget(rt);
+    }
+
+    const std::uint32_t n_frames = dec.u32();
+    for (std::uint32_t fi = 0; fi < n_frames; ++fi) {
+        Frame frame(fi);
+        const std::uint32_t n_draws = dec.u32();
+        for (std::uint32_t di = 0; di < n_draws; ++di)
+            frame.addDraw(decodeDraw(dec));
+        trace.addFrame(std::move(frame));
+    }
+
+    if (!dec.exhausted())
+        throw TraceIoError("trailing bytes after trace payload");
+    return trace;
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    const std::string payload = encodePayload(trace);
+    Encoder header;
+    header.u32(traceMagic);
+    header.u32(traceFormatVersion);
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    header.u32(checksum32(payload));
+    os.write(header.data().data(),
+             static_cast<std::streamsize>(header.data().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        throw TraceIoError("stream write failed for trace '" +
+                           trace.name() + "'");
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw TraceIoError("cannot open '" + path + "' for writing");
+    writeTrace(trace, ofs);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    char raw_header[16];
+    is.read(raw_header, sizeof(raw_header));
+    if (is.gcount() != sizeof(raw_header))
+        throw TraceIoError("trace header truncated");
+    Decoder header(std::string(raw_header, sizeof(raw_header)));
+    if (header.u32() != traceMagic)
+        throw TraceIoError("bad magic: not a gws trace");
+    const std::uint32_t version = header.u32();
+    if (version != traceFormatVersion)
+        throw TraceIoError("unsupported trace format version " +
+                           std::to_string(version));
+    const std::uint32_t size = header.u32();
+    const std::uint32_t expect_sum = header.u32();
+
+    std::string payload(size, '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::uint32_t>(is.gcount()) != size)
+        throw TraceIoError("trace payload truncated");
+    if (checksum32(payload) != expect_sum)
+        throw TraceIoError("trace checksum mismatch (corrupt file)");
+    return decodePayload(payload);
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        throw TraceIoError("cannot open '" + path + "' for reading");
+    return readTrace(ifs);
+}
+
+} // namespace gws

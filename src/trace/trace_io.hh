@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Versioned binary (de)serialization of traces.
+ *
+ * Format: an 16-byte header { magic "GWST", format version, payload
+ * size, payload checksum } followed by the payload. The checksum is
+ * FNV-1a 64 truncated to 32 bits; it catches truncation and bit rot.
+ * Malformed input throws TraceIoError (recoverable: the caller chose
+ * the file), unlike internal invariant violations, which panic.
+ */
+
+#ifndef GWS_TRACE_TRACE_IO_HH
+#define GWS_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Error thrown when a trace stream or file cannot be decoded. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    explicit TraceIoError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Current serialization format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/** Serialize a trace to a binary stream. */
+void writeTrace(const Trace &trace, std::ostream &os);
+
+/** Serialize a trace to a file; throws TraceIoError if unwritable. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/** Deserialize a trace from a binary stream; throws TraceIoError. */
+Trace readTrace(std::istream &is);
+
+/** Deserialize a trace from a file; throws TraceIoError. */
+Trace readTraceFile(const std::string &path);
+
+} // namespace gws
+
+#endif // GWS_TRACE_TRACE_IO_HH

@@ -1,0 +1,38 @@
+#include "trace/trace_stats.hh"
+
+namespace gws {
+
+TraceStats
+computeTraceStats(const Trace &trace)
+{
+    TraceStats s;
+    s.frames = trace.frameCount();
+    s.shaderPrograms = trace.shaders().size();
+    s.pixelShaderPrograms = trace.shaders().countStage(ShaderStage::Pixel);
+    s.textureBytes = trace.textureBytes();
+
+    double overdraw_weighted = 0.0;
+    double ps_per_frame_sum = 0.0;
+    for (const auto &frame : trace.frames()) {
+        s.draws += frame.drawCount();
+        s.vertices += frame.totalVertices();
+        s.shadedPixels += frame.totalShadedPixels();
+        ps_per_frame_sum += static_cast<double>(
+            frame.pixelShaderSet().size());
+        for (const auto &d : frame.draws())
+            overdraw_weighted += d.overdraw *
+                                 static_cast<double>(d.shadedPixels);
+    }
+    if (s.frames > 0) {
+        s.drawsPerFrame = static_cast<double>(s.draws) /
+                          static_cast<double>(s.frames);
+        s.pixelShadersPerFrame = ps_per_frame_sum /
+                                 static_cast<double>(s.frames);
+    }
+    if (s.shadedPixels > 0)
+        s.meanOverdraw = overdraw_weighted /
+                         static_cast<double>(s.shadedPixels);
+    return s;
+}
+
+} // namespace gws

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aggregate characterization of a trace — the numbers a workload
+ * inventory table (paper Table 1 style) reports per game.
+ */
+
+#ifndef GWS_TRACE_TRACE_STATS_HH
+#define GWS_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace gws {
+
+/** Aggregate statistics of one trace. */
+struct TraceStats
+{
+    /** Frames in the trace. */
+    std::uint64_t frames = 0;
+
+    /** Total draw calls. */
+    std::uint64_t draws = 0;
+
+    /** Mean draw calls per frame. */
+    double drawsPerFrame = 0.0;
+
+    /** Total vertex-shader invocations. */
+    std::uint64_t vertices = 0;
+
+    /** Total pixel-shader invocations. */
+    std::uint64_t shadedPixels = 0;
+
+    /** Distinct shader programs in the library. */
+    std::uint64_t shaderPrograms = 0;
+
+    /** Distinct pixel-shader programs. */
+    std::uint64_t pixelShaderPrograms = 0;
+
+    /** Texture table footprint in bytes. */
+    std::uint64_t textureBytes = 0;
+
+    /** Mean distinct pixel shaders bound per frame. */
+    double pixelShadersPerFrame = 0.0;
+
+    /** Mean overdraw over all draws (pixel-weighted). */
+    double meanOverdraw = 0.0;
+};
+
+/** Compute aggregate statistics of a trace. */
+TraceStats computeTraceStats(const Trace &trace);
+
+} // namespace gws
+
+#endif // GWS_TRACE_TRACE_STATS_HH

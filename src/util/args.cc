@@ -1,0 +1,168 @@
+#include "util/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace gws {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : programName(std::move(program)),
+      programDescription(std::move(description))
+{
+}
+
+void
+ArgParser::addString(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    GWS_ASSERT(!options.count(name), "duplicate option --", name);
+    options[name] = Option{Kind::String, def, def, help};
+    order.push_back(name);
+}
+
+void
+ArgParser::addInt(const std::string &name, std::int64_t def,
+                  const std::string &help)
+{
+    GWS_ASSERT(!options.count(name), "duplicate option --", name);
+    options[name] =
+        Option{Kind::Int, std::to_string(def), std::to_string(def), help};
+    order.push_back(name);
+}
+
+void
+ArgParser::addDouble(const std::string &name, double def,
+                     const std::string &help)
+{
+    GWS_ASSERT(!options.count(name), "duplicate option --", name);
+    const std::string text = formatDouble(def, 6);
+    options[name] = Option{Kind::Double, text, text, help};
+    order.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    GWS_ASSERT(!options.count(name), "duplicate option --", name);
+    options[name] = Option{Kind::Flag, "0", "0", help};
+    order.push_back(name);
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            return false;
+        }
+        if (!startsWith(arg, "--"))
+            GWS_FATAL("unexpected positional argument '", arg, "'");
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        }
+
+        auto it = options.find(name);
+        if (it == options.end())
+            GWS_FATAL("unknown option '--", name, "'\n", usage());
+
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (have_value)
+                GWS_FATAL("flag '--", name, "' does not take a value");
+            opt.value = "1";
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc)
+                GWS_FATAL("option '--", name, "' needs a value");
+            value = argv[++i];
+        }
+        if (opt.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                GWS_FATAL("option '--", name, "' wants an integer, got '",
+                          value, "'");
+        } else if (opt.kind == Kind::Double) {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                GWS_FATAL("option '--", name, "' wants a number, got '",
+                          value, "'");
+        }
+        opt.value = value;
+    }
+    return true;
+}
+
+const ArgParser::Option &
+ArgParser::find(const std::string &name, Kind kind) const
+{
+    auto it = options.find(name);
+    GWS_ASSERT(it != options.end(), "option --", name, " never registered");
+    GWS_ASSERT(it->second.kind == kind, "option --", name,
+               " accessed with the wrong type");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return find(name, Kind::Flag).value == "1";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::string out = programName + " — " + programDescription + "\n\n";
+    out += "options:\n";
+    for (const auto &name : order) {
+        const Option &opt = options.at(name);
+        out += "  --" + name;
+        if (opt.kind != Kind::Flag)
+            out += "=<" + std::string(opt.kind == Kind::String
+                                          ? "str"
+                                          : opt.kind == Kind::Int ? "int"
+                                                                  : "num") +
+                   ">";
+        out += "\n      " + opt.help;
+        if (opt.kind != Kind::Flag)
+            out += " (default: " + opt.defaultValue + ")";
+        out += "\n";
+    }
+    out += "  --help\n      print this message\n";
+    return out;
+}
+
+} // namespace gws

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the example and bench
+ * binaries. Supports "--key=value", "--key value", and boolean
+ * "--flag" forms, registered with defaults and help strings.
+ */
+
+#ifndef GWS_UTIL_ARGS_HH
+#define GWS_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gws {
+
+/**
+ * Declarative argument parser. Options are registered first, then
+ * parse() consumes argv; unknown options are a user error (fatal()),
+ * not a crash.
+ */
+class ArgParser
+{
+  public:
+    /** Construct with the program name and a one-line description. */
+    ArgParser(std::string program, std::string description);
+
+    /** Register a string option with a default value. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register an integer option with a default value. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+
+    /** Register a floating-point option with a default value. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+
+    /** Register a boolean flag (default false; "--name" sets true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing usage) when "--help"
+     * was requested; exits via fatal() on malformed input.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Value accessors; panic if the option was never registered. */
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Human-readable usage text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string defaultValue;
+        std::string help;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string programName;
+    std::string programDescription;
+    std::map<std::string, Option> options;
+    std::vector<std::string> order;
+};
+
+} // namespace gws
+
+#endif // GWS_UTIL_ARGS_HH

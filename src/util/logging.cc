@@ -1,0 +1,54 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gws {
+
+namespace {
+
+std::atomic<int> warnCounter{0};
+
+} // namespace
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    warnCounter.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+int
+warnCount()
+{
+    return warnCounter.load(std::memory_order_relaxed);
+}
+
+} // namespace gws

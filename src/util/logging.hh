@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Diagnostic and error-reporting helpers, following the gem5 idiom:
+ *
+ *  - panic():  something happened that should never happen regardless of
+ *              user input, i.e. an internal bug. Aborts.
+ *  - fatal():  the run cannot continue because of a user error (bad
+ *              configuration, invalid argument). Exits with status 1.
+ *  - warn():   something is questionable but the run continues.
+ *  - inform(): plain status output for the user.
+ *
+ * All of them accept printf-free, iostream-free variadic arguments that
+ * are stringified with operator<<.
+ */
+
+#ifndef GWS_UTIL_LOGGING_HH
+#define GWS_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace gws {
+
+namespace detail {
+
+/** Stringify a pack of arguments by streaming them into an ostringstream. */
+template <typename... Args>
+std::string
+concatToString(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Terminate with an internal-error report (backs panic()). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate with a user-error report (backs fatal()). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a warning line on stderr. */
+void warnImpl(const std::string &msg);
+
+/** Emit an informational line on stdout. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Count of warnings emitted so far in this process. Exposed mainly so
+ * tests can assert that a code path warned (or did not).
+ */
+int warnCount();
+
+} // namespace gws
+
+/**
+ * Report an internal invariant violation and abort. Use only for
+ * conditions that indicate a bug in this library, never for user error.
+ */
+#define GWS_PANIC(...)                                                      \
+    ::gws::detail::panicImpl(__FILE__, __LINE__,                            \
+                             ::gws::detail::concatToString(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user error (bad configuration, bad input file)
+ * and exit(1).
+ */
+#define GWS_FATAL(...)                                                      \
+    ::gws::detail::fatalImpl(__FILE__, __LINE__,                            \
+                             ::gws::detail::concatToString(__VA_ARGS__))
+
+/** Emit a warning; execution continues. */
+#define GWS_WARN(...)                                                       \
+    ::gws::detail::warnImpl(::gws::detail::concatToString(__VA_ARGS__))
+
+/** Emit a status message; execution continues. */
+#define GWS_INFORM(...)                                                     \
+    ::gws::detail::informImpl(::gws::detail::concatToString(__VA_ARGS__))
+
+/**
+ * Precondition / invariant check that is always compiled in. On failure,
+ * panics with the stringified condition and the optional message.
+ */
+#define GWS_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            GWS_PANIC("assertion failed: ", #cond, " ",                     \
+                      ::gws::detail::concatToString(__VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
+
+#endif // GWS_UTIL_LOGGING_HH

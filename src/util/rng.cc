@@ -1,0 +1,213 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seedValue(seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    GWS_ASSERT(lo <= hi, "uniform bounds inverted: ", lo, " > ", hi);
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    GWS_ASSERT(lo <= hi, "uniformInt bounds inverted: ", lo, " > ", hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(nextU64());
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v;
+    do {
+        v = nextU64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; draws two uniforms per sample and discards the pair's
+    // second value to keep the stream position deterministic per call.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    GWS_ASSERT(stddev >= 0.0, "negative stddev: ", stddev);
+    return mean + stddev * normal();
+}
+
+double
+Rng::logNormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::exponential(double rate)
+{
+    GWS_ASSERT(rate > 0.0, "exponential rate must be positive: ", rate);
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -std::log(u) / rate;
+}
+
+double
+Rng::pareto(double x_min, double alpha)
+{
+    GWS_ASSERT(x_min > 0.0 && alpha > 0.0,
+               "pareto parameters must be positive: ", x_min, ", ", alpha);
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    GWS_ASSERT(mean >= 0.0, "poisson mean must be non-negative: ", mean);
+    if (mean == 0.0)
+        return 0;
+    if (mean > 30.0) {
+        const double v = normal(mean, std::sqrt(mean));
+        return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+    }
+    const double limit = std::exp(-mean);
+    double product = uniform();
+    std::uint64_t k = 0;
+    while (product > limit) {
+        ++k;
+        product *= uniform();
+    }
+    return k;
+}
+
+std::size_t
+Rng::index(std::size_t n)
+{
+    GWS_ASSERT(n > 0, "index() over an empty range");
+    return static_cast<std::size_t>(
+        uniformInt(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    GWS_ASSERT(!weights.empty(), "weightedIndex() with no weights");
+    double total = 0.0;
+    for (double w : weights) {
+        GWS_ASSERT(w >= 0.0, "negative weight: ", w);
+        total += w;
+    }
+    GWS_ASSERT(total > 0.0, "weightedIndex() needs a positive weight");
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0)
+            return i;
+    }
+    // Floating-point slop: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    GWS_PANIC("unreachable: no positive weight found");
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = index(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng
+Rng::fork(std::uint64_t tag) const
+{
+    // Mix the original seed with the tag through SplitMix64 so children
+    // with adjacent tags are still decorrelated.
+    SplitMix64 sm(seedValue ^ (tag * 0xd1342543de82ef95ULL +
+                               0x2545f4914f6cdd1dULL));
+    return Rng(sm.next());
+}
+
+} // namespace gws

@@ -1,0 +1,198 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+void
+SummaryStats::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (x - runningMean);
+    if (n == 1) {
+        minValue = maxValue = x;
+    } else {
+        minValue = std::min(minValue, x);
+        maxValue = std::max(maxValue, x);
+    }
+}
+
+void
+SummaryStats::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+SummaryStats::variance() const
+{
+    return n >= 2 ? m2 / static_cast<double>(n) : 0.0;
+}
+
+double
+SummaryStats::sampleVariance() const
+{
+    return n >= 2 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    SummaryStats s;
+    s.addAll(xs);
+    return s.stddev();
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        GWS_ASSERT(x > 0.0, "geomean needs positive samples, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    GWS_ASSERT(!xs.empty(), "percentile of an empty series");
+    GWS_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double pos = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    GWS_ASSERT(xs.size() == ys.size(),
+               "pearson length mismatch: ", xs.size(), " vs ", ys.size());
+    GWS_ASSERT(xs.size() >= 2, "pearson needs at least 2 points");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+ranks(const std::vector<double> &xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<double> out(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average 1-based rank over the tie group [i, j].
+        const double avg_rank =
+            (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+        for (std::size_t k = i; k <= j; ++k)
+            out[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return out;
+}
+
+double
+spearman(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    GWS_ASSERT(xs.size() == ys.size(),
+               "spearman length mismatch: ", xs.size(), " vs ", ys.size());
+    GWS_ASSERT(xs.size() >= 2, "spearman needs at least 2 points");
+    return pearson(ranks(xs), ranks(ys));
+}
+
+Histogram::Histogram(double lo_, double hi_, std::size_t bins)
+    : lo(lo_), hi(hi_), counts(bins, 0)
+{
+    GWS_ASSERT(bins >= 1, "histogram needs at least one bin");
+    GWS_ASSERT(lo < hi, "histogram range inverted: [", lo, ", ", hi, ")");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    auto raw = static_cast<long>(std::floor((x - lo) / width));
+    raw = std::clamp<long>(raw, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(raw)];
+    ++totalCount;
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    GWS_ASSERT(i < counts.size(), "histogram bin out of range: ", i);
+    return counts[i];
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    GWS_ASSERT(i < counts.size(), "histogram bin out of range: ", i);
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return binLo(i) + (hi - lo) / static_cast<double>(counts.size());
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    return static_cast<double>(binCount(i)) /
+           static_cast<double>(totalCount);
+}
+
+} // namespace gws

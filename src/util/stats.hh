@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Summary statistics, correlation measures, and histograms used by the
+ * clustering-quality metrics and the experiment harnesses.
+ */
+
+#ifndef GWS_UTIL_STATS_HH
+#define GWS_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace gws {
+
+/**
+ * Streaming accumulator for count / mean / variance / min / max using
+ * Welford's algorithm (numerically stable for long streams).
+ */
+class SummaryStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Fold a whole range of samples. */
+    void addAll(const std::vector<double> &xs);
+
+    /** Number of samples seen. */
+    std::size_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? runningMean : 0.0; }
+
+    /** Population variance; 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample (n-1) variance; 0 for fewer than 2 samples. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return n ? minValue : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return n ? maxValue : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minValue = 0.0;
+    double maxValue = 0.0;
+    double total = 0.0;
+};
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation of a vector; 0 when empty. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Geometric mean of strictly positive samples. Panics if any sample is
+ * not positive; returns 0 when empty.
+ */
+double geomean(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]. The input need not be
+ * sorted. Panics on an empty input or p outside [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Pearson product-moment correlation coefficient of two equal-length
+ * series. Returns 0 when either series has zero variance. Panics on
+ * length mismatch or fewer than 2 points.
+ */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Spearman rank correlation (Pearson of the rank transforms, average
+ * ranks for ties). Same preconditions as pearson().
+ */
+double spearman(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Fixed-width histogram over [lo, hi) with the given number of bins.
+ * Samples outside the range are clamped into the first / last bin.
+ */
+class Histogram
+{
+  public:
+    /** Construct with range [lo, hi) and bins >= 1. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Insert one sample. */
+    void add(double x);
+
+    /** Count in bin i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Exclusive upper edge of bin i. */
+    double binHi(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Total number of samples inserted. */
+    std::size_t total() const { return totalCount; }
+
+    /** Fraction of samples in bin i; 0 when empty. */
+    double binFraction(std::size_t i) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::size_t> counts;
+    std::size_t totalCount = 0;
+};
+
+/** Average ranks (1-based, ties averaged) of a series. */
+std::vector<double> ranks(const std::vector<double> &xs);
+
+} // namespace gws
+
+#endif // GWS_UTIL_STATS_HH

@@ -1,0 +1,123 @@
+#include "util/strings.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace gws {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &pieces, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+        if (i)
+            out += sep;
+        out += pieces[i];
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string
+humanBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    double v = bytes;
+    while (std::fabs(v) >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f %s", v, suffixes[idx]);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", v, suffixes[idx]);
+    return buf;
+}
+
+std::string
+humanCount(double count)
+{
+    static const char *suffixes[] = {"", "K", "M", "G", "T"};
+    int idx = 0;
+    double v = count;
+    while (std::fabs(v) >= 1000.0 && idx < 4) {
+        v /= 1000.0;
+        ++idx;
+    }
+    char buf[64];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffixes[idx]);
+    return buf;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+} // namespace gws

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Small string helpers shared by the CLI tools, table writers, and
+ * serialization code.
+ */
+
+#ifndef GWS_UTIL_STRINGS_HH
+#define GWS_UTIL_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace gws {
+
+/** Split on a delimiter character; adjacent delimiters yield empties. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join pieces with a separator. */
+std::string join(const std::vector<std::string> &pieces,
+                 const std::string &sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** ASCII lower-case copy. */
+std::string toLower(const std::string &s);
+
+/** True if s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** True if s ends with the given suffix. */
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/** Format a byte count with a binary suffix, e.g. "1.5 MiB". */
+std::string humanBytes(double bytes);
+
+/** Format a large count with an SI suffix, e.g. "828.1K". */
+std::string humanCount(double count);
+
+/** Fixed-precision decimal formatting, e.g. formatDouble(1.234, 2). */
+std::string formatDouble(double value, int precision);
+
+/** Percentage formatting: formatPercent(0.658, 1) -> "65.8%". */
+std::string formatPercent(double fraction, int precision);
+
+} // namespace gws
+
+#endif // GWS_UTIL_STRINGS_HH

@@ -1,0 +1,174 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace gws {
+
+namespace {
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+    GWS_ASSERT(!headerRow.empty(), "table needs at least one column");
+}
+
+void
+Table::newRow()
+{
+    if (!data.empty()) {
+        GWS_ASSERT(data.back().size() == headerRow.size(),
+                   "previous row has ", data.back().size(), " cells, want ",
+                   headerRow.size());
+    }
+    data.emplace_back();
+}
+
+void
+Table::cell(const std::string &value)
+{
+    GWS_ASSERT(!data.empty(), "cell() before newRow()");
+    GWS_ASSERT(data.back().size() < headerRow.size(),
+               "row already has ", headerRow.size(), " cells");
+    data.back().push_back(value);
+}
+
+void
+Table::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(unsigned long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(std::size_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    cell(formatDouble(value, precision));
+}
+
+void
+Table::cellPercent(double fraction, int precision)
+{
+    cell(formatDouble(fraction * 100.0, precision));
+}
+
+const std::string &
+Table::at(std::size_t row, std::size_t col) const
+{
+    GWS_ASSERT(row < data.size(), "row out of range: ", row);
+    GWS_ASSERT(col < data[row].size(), "col out of range: ", col);
+    return data[row][col];
+}
+
+std::vector<std::size_t>
+Table::columnWidths() const
+{
+    std::vector<std::size_t> widths(headerRow.size(), 0);
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        widths[c] = headerRow[c].size();
+    for (const auto &row : data) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+std::string
+Table::renderAscii() const
+{
+    const auto widths = columnWidths();
+    std::string out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headerRow.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            out += v;
+            if (c + 1 < headerRow.size())
+                out += std::string(widths[c] - v.size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emit_row(headerRow);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out += std::string(rule, '-') + '\n';
+    for (const auto &row : data)
+        emit_row(row);
+    return out;
+}
+
+std::string
+Table::renderMarkdown() const
+{
+    std::string out = "|";
+    for (const auto &h : headerRow)
+        out += " " + h + " |";
+    out += "\n|";
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        out += "---|";
+    out += "\n";
+    for (const auto &row : data) {
+        out += "|";
+        for (std::size_t c = 0; c < headerRow.size(); ++c) {
+            out += " ";
+            out += c < row.size() ? row[c] : std::string();
+            out += " |";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::string out;
+    for (std::size_t c = 0; c < headerRow.size(); ++c) {
+        if (c)
+            out += ',';
+        out += csvEscape(headerRow[c]);
+    }
+    out += '\n';
+    for (const auto &row : data) {
+        for (std::size_t c = 0; c < headerRow.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvEscape(c < row.size() ? row[c] : std::string());
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace gws

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lightweight tabular output used by the experiment harnesses. A Table
+ * collects typed rows and renders them as aligned ASCII, Markdown, or
+ * CSV so each bench binary can print exactly the rows of the paper
+ * table/figure it regenerates.
+ */
+
+#ifndef GWS_UTIL_TABLE_HH
+#define GWS_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gws {
+
+/**
+ * Column-oriented table with per-cell string storage. Numeric helpers
+ * format with a fixed precision at insertion time so rendering is a
+ * pure layout concern.
+ */
+class Table
+{
+  public:
+    /** Construct with the header row. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new (empty) row. */
+    void newRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append an integer cell. */
+    void cell(long long value);
+
+    /** Append an unsigned cell. */
+    void cell(unsigned long long value);
+
+    /** Append a size cell. */
+    void cell(std::size_t value);
+
+    /** Append a floating-point cell with the given precision. */
+    void cell(double value, int precision = 3);
+
+    /** Append a percentage cell: fraction 0.658 renders as "65.8". */
+    void cellPercent(double fraction, int precision = 1);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return data.size(); }
+
+    /** Number of columns. */
+    std::size_t columns() const { return headerRow.size(); }
+
+    /** Cell accessor (row, col) for tests. */
+    const std::string &at(std::size_t row, std::size_t col) const;
+
+    /** Render as aligned monospace text with a header separator. */
+    std::string renderAscii() const;
+
+    /** Render as a GitHub-flavored Markdown table. */
+    std::string renderMarkdown() const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing , " \n). */
+    std::string renderCsv() const;
+
+  private:
+    /** Per-column display width over header and all rows. */
+    std::vector<std::size_t> columnWidths() const;
+
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> data;
+};
+
+} // namespace gws
+
+#endif // GWS_UTIL_TABLE_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests of feature extraction: value correctness, determinism,
+ * micro-architecture independence (features never vary with GPU
+ * configuration), and the per-frame normalizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "features/extractor.hh"
+#include "synth/generator.hh"
+
+namespace gws {
+namespace {
+
+Trace
+featureTrace()
+{
+    Trace t("feat");
+    const ShaderId vs = t.shaders().add(ShaderStage::Vertex, "vs",
+                                        InstructionMix{10, 5, 1, 0, 0, 2});
+    const ShaderId ps = t.shaders().add(ShaderStage::Pixel, "ps",
+                                        InstructionMix{20, 10, 2, 3, 6, 1});
+    const TextureId tex = t.addTexture(TextureDesc{512, 512, 4, false});
+    const RenderTargetId rt = t.addRenderTarget({1280, 720, 4});
+    Frame f(0);
+    DrawCall d;
+    d.state.vertexShader = vs;
+    d.state.pixelShader = ps;
+    d.state.textures = {tex, tex};
+    d.state.renderTarget = rt;
+    d.state.blendEnabled = true;
+    d.state.depthTestEnabled = true;
+    d.state.depthWriteEnabled = false;
+    d.vertexCount = 300;
+    d.instanceCount = 2;
+    d.vertexStrideBytes = 40;
+    d.shadedPixels = 5000;
+    d.overdraw = 1.6;
+    d.texLocality = 0.77;
+    f.addDraw(d);
+
+    DrawCall d2 = d;
+    d2.shadedPixels = 50000;
+    d2.state.blendEnabled = false;
+    f.addDraw(d2);
+    t.addFrame(std::move(f));
+    return t;
+}
+
+TEST(FeatureExtractor, KnownValues)
+{
+    const Trace t = featureTrace();
+    const FeatureExtractor ex(t);
+    const DrawCall &d = t.frame(0).draws()[0];
+    const FeatureVector f = ex.extract(d);
+
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogVertices], std::log1p(600.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogPrimitives], std::log1p(200.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogPixels], std::log1p(5000.0));
+    // VS total ops = 18, PS total ops = 42, PS tex ops = 3.
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogVsOps], std::log1p(600.0 * 18.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogPsOps], std::log1p(5000.0 * 42.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogTexSamples],
+                     std::log1p(5000.0 * 3.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogTexFootprint],
+                     std::log1p(2.0 * 512 * 512 * 4));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogVertexBytes],
+                     std::log1p(600.0 * 40.0));
+    // blend on: 2x color; depth test on: +4B reads; no depth writes.
+    EXPECT_DOUBLE_EQ(f[FeatureDim::LogRtBytes],
+                     std::log1p(5000.0 * 4.0 * 2.0 + 5000.0 * 4.0));
+    EXPECT_DOUBLE_EQ(f[FeatureDim::PsOpsPerPixel], 39.0);
+    EXPECT_DOUBLE_EQ(f[FeatureDim::TexPerPixel], 3.0);
+    EXPECT_DOUBLE_EQ(f[FeatureDim::Overdraw], 1.6);
+    EXPECT_DOUBLE_EQ(f[FeatureDim::TexLocality], 0.77);
+    EXPECT_DOUBLE_EQ(f[FeatureDim::BlendFlag], 1.0);
+    EXPECT_DOUBLE_EQ(f[FeatureDim::DepthWriteFlag], 0.0);
+}
+
+TEST(FeatureExtractor, ExtractFrameMatchesPerDraw)
+{
+    const Trace t = featureTrace();
+    const FeatureExtractor ex(t);
+    const auto frame_features = ex.extractFrame(t.frame(0));
+    ASSERT_EQ(frame_features.size(), 2u);
+    EXPECT_EQ(frame_features[0], ex.extract(t.frame(0).draws()[0]));
+    EXPECT_EQ(frame_features[1], ex.extract(t.frame(0).draws()[1]));
+}
+
+TEST(FeatureExtractor, Deterministic)
+{
+    const Trace t = featureTrace();
+    const FeatureExtractor ex(t);
+    EXPECT_EQ(ex.extract(t.frame(0).draws()[0]),
+              ex.extract(t.frame(0).draws()[0]));
+}
+
+TEST(FeatureExtractor, DiffersAcrossDistinctDraws)
+{
+    const Trace t = featureTrace();
+    const FeatureExtractor ex(t);
+    EXPECT_FALSE(ex.extract(t.frame(0).draws()[0]) ==
+                 ex.extract(t.frame(0).draws()[1]));
+}
+
+TEST(FeatureDim, NamesAreUniqueAndNonNull)
+{
+    std::set<std::string> names;
+    for (std::size_t d = 0; d < numFeatureDims; ++d)
+        names.insert(toString(static_cast<FeatureDim>(d)));
+    EXPECT_EQ(names.size(), numFeatureDims);
+}
+
+TEST(FeatureVector, SquaredDistance)
+{
+    FeatureVector a, b;
+    a[FeatureDim::Overdraw] = 3.0;
+    b[FeatureDim::Overdraw] = 1.0;
+    b[FeatureDim::BlendFlag] = 1.0;
+    EXPECT_DOUBLE_EQ(a.squaredDistance(b), 4.0 + 1.0);
+    EXPECT_DOUBLE_EQ(a.squaredDistance(a), 0.0);
+}
+
+// The headline property: features are micro-architecture independent.
+// There is no GpuConfig anywhere in the extraction path, so the same
+// trace yields identical features no matter what hardware would run
+// it. We assert the extraction depends only on trace content.
+TEST(FeatureExtractor, IndependentOfAnyGpuConfigByConstruction)
+{
+    GameProfile p = builtinProfile("vanguard", SuiteScale::Ci);
+    p.segments = 2;
+    p.segmentFramesMin = 2;
+    p.segmentFramesMax = 2;
+    const Trace t1 = GameGenerator(p).generate();
+    const Trace t2 = GameGenerator(p).generate(); // identical content
+    const FeatureExtractor e1(t1), e2(t2);
+    for (std::uint32_t f = 0; f < t1.frameCount(); ++f) {
+        const auto v1 = e1.extractFrame(t1.frame(f));
+        const auto v2 = e2.extractFrame(t2.frame(f));
+        ASSERT_EQ(v1, v2);
+    }
+}
+
+// -------------------------------------------------------------- normalizer --
+
+TEST(Normalizer, ZScoreHasZeroMeanUnitVariance)
+{
+    const Trace t = GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+                        .generate();
+    const FeatureExtractor ex(t);
+    const auto raw = ex.extractFrame(t.frame(0));
+    const Normalizer n = Normalizer::fit(raw);
+    const auto normed = n.applyAll(raw);
+
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        double sum = 0.0, sq = 0.0;
+        for (const auto &v : normed) {
+            sum += v.at(d);
+            sq += v.at(d) * v.at(d);
+        }
+        const double m = sum / static_cast<double>(normed.size());
+        const double var = sq / static_cast<double>(normed.size()) - m * m;
+        EXPECT_NEAR(m, 0.0, 1e-9) << toString(static_cast<FeatureDim>(d));
+        // Dimensions can be constant within a frame (mapped to 0).
+        EXPECT_TRUE(std::fabs(var) < 1e-9 || std::fabs(var - 1.0) < 1e-6)
+            << toString(static_cast<FeatureDim>(d)) << " var=" << var;
+    }
+}
+
+TEST(Normalizer, ConstantDimensionMapsToZero)
+{
+    std::vector<FeatureVector> sample(5);
+    for (auto &v : sample)
+        v[FeatureDim::Overdraw] = 2.5; // constant
+    sample[0][FeatureDim::LogPixels] = 1.0; // varying
+    const Normalizer n = Normalizer::fit(sample);
+    for (const auto &v : sample)
+        EXPECT_DOUBLE_EQ(n.apply(v)[FeatureDim::Overdraw], 0.0);
+}
+
+TEST(Normalizer, SingleSampleAllZero)
+{
+    std::vector<FeatureVector> sample(1);
+    sample[0][FeatureDim::LogPixels] = 7.0;
+    const Normalizer n = Normalizer::fit(sample);
+    const FeatureVector z = n.apply(sample[0]);
+    for (std::size_t d = 0; d < numFeatureDims; ++d)
+        EXPECT_DOUBLE_EQ(z.at(d), 0.0);
+}
+
+TEST(Normalizer, MeanAndStddevAccessors)
+{
+    std::vector<FeatureVector> sample(2);
+    sample[0][FeatureDim::Overdraw] = 1.0;
+    sample[1][FeatureDim::Overdraw] = 3.0;
+    const Normalizer n = Normalizer::fit(sample);
+    EXPECT_DOUBLE_EQ(n.mean(FeatureDim::Overdraw), 2.0);
+    EXPECT_DOUBLE_EQ(n.stddev(FeatureDim::Overdraw), 1.0);
+}
+
+} // namespace
+} // namespace gws

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests of shader vectors and phase detection: bitset semantics,
+ * interval partitioning, equality/similarity matching, timelines, and
+ * agreement with the generator's ground-truth level schedule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phase/feature_phases.hh"
+#include "phase/phase_detect.hh"
+#include "synth/generator.hh"
+
+namespace gws {
+namespace {
+
+// ----------------------------------------------------------- shader vector --
+
+TEST(ShaderVector, SetTestCount)
+{
+    ShaderVector v(200);
+    EXPECT_EQ(v.count(), 0u);
+    v.set(0);
+    v.set(63);
+    v.set(64);
+    v.set(199);
+    EXPECT_EQ(v.count(), 4u);
+    EXPECT_TRUE(v.test(63));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_FALSE(v.test(500)); // out of universe: absent, not fatal
+}
+
+TEST(ShaderVector, SetOutOfUniverseDies)
+{
+    ShaderVector v(10);
+    EXPECT_DEATH(v.set(10), "outside universe");
+}
+
+TEST(ShaderVector, IdsAscending)
+{
+    ShaderVector v(130);
+    v.set(129);
+    v.set(5);
+    v.set(64);
+    EXPECT_EQ(v.ids(), (std::vector<ShaderId>{5, 64, 129}));
+}
+
+TEST(ShaderVector, SetIsIdempotent)
+{
+    ShaderVector v(16);
+    v.set(3);
+    v.set(3);
+    EXPECT_EQ(v.count(), 1u);
+}
+
+TEST(ShaderVector, IntersectionUnionJaccard)
+{
+    ShaderVector a(100), b(100);
+    a.set(1);
+    a.set(2);
+    a.set(70);
+    b.set(2);
+    b.set(70);
+    b.set(99);
+    EXPECT_EQ(a.intersectionCount(b), 2u);
+    EXPECT_EQ(a.unionCount(b), 4u);
+    EXPECT_DOUBLE_EQ(a.jaccard(b), 0.5);
+}
+
+TEST(ShaderVector, JaccardOfEmptiesIsOne)
+{
+    ShaderVector a(10), b(10);
+    EXPECT_DOUBLE_EQ(a.jaccard(b), 1.0);
+}
+
+TEST(ShaderVector, EqualityIsExact)
+{
+    ShaderVector a(64), b(64);
+    a.set(7);
+    b.set(7);
+    EXPECT_EQ(a, b);
+    b.set(8);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(ShaderVector, FrameVectorPixelOnly)
+{
+    Trace t("sv");
+    const ShaderId vs = t.shaders().add(ShaderStage::Vertex, "vs", {});
+    const ShaderId ps = t.shaders().add(ShaderStage::Pixel, "ps", {});
+    const RenderTargetId rt = t.addRenderTarget({64, 64, 4});
+    Frame f(0);
+    DrawCall d;
+    d.state.vertexShader = vs;
+    d.state.pixelShader = ps;
+    d.state.renderTarget = rt;
+    d.shadedPixels = 5;
+    f.addDraw(d);
+
+    const ShaderVector pixel_only =
+        frameShaderVector(f, t.shaders().size(), true);
+    EXPECT_TRUE(pixel_only.test(ps));
+    EXPECT_FALSE(pixel_only.test(vs));
+    const ShaderVector both =
+        frameShaderVector(f, t.shaders().size(), false);
+    EXPECT_TRUE(both.test(vs));
+    EXPECT_EQ(both.count(), 2u);
+}
+
+// ------------------------------------------------------------ detection --
+
+GameGenerator
+phaseGen()
+{
+    GameProfile p = builtinProfile("shock1", SuiteScale::Ci);
+    p.levels = 3;
+    p.segments = 8;
+    p.segmentFramesMin = 12;
+    p.segmentFramesMax = 12; // segment = exactly 12 frames
+    p.drawsPerFrame = 50.0;
+    return GameGenerator(p);
+}
+
+TEST(PhaseDetect, IntervalPartitionCoversAllFrames)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 10;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    std::uint32_t covered = 0;
+    std::uint32_t expect_begin = 0;
+    for (const auto &iv : tl.intervals) {
+        EXPECT_EQ(iv.beginFrame, expect_begin);
+        EXPECT_GT(iv.endFrame, iv.beginFrame);
+        covered += iv.frames();
+        expect_begin = iv.endFrame;
+    }
+    EXPECT_EQ(covered, t.frameCount());
+}
+
+TEST(PhaseDetect, LastPartialIntervalKept)
+{
+    const Trace t = phaseGen().generate(); // 96 frames
+    PhaseConfig cfg;
+    cfg.intervalFrames = 36;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    ASSERT_EQ(tl.intervals.size(), 3u);
+    EXPECT_EQ(tl.intervals.back().frames(), 96u - 2 * 36);
+}
+
+TEST(PhaseDetect, PhaseIdsAreDenseFirstAppearance)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    std::uint32_t next_new = 0;
+    for (const auto &iv : tl.intervals) {
+        ASSERT_LE(iv.phaseId, next_new);
+        if (iv.phaseId == next_new)
+            ++next_new;
+    }
+    EXPECT_EQ(next_new, tl.phaseCount);
+}
+
+TEST(PhaseDetect, EqualVectorsShareAPhase)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    for (std::size_t i = 0; i < tl.intervals.size(); ++i) {
+        for (std::size_t j = i + 1; j < tl.intervals.size(); ++j) {
+            if (tl.intervals[i].shaders == tl.intervals[j].shaders)
+                ASSERT_EQ(tl.intervals[i].phaseId,
+                          tl.intervals[j].phaseId);
+            else
+                ASSERT_NE(tl.intervals[i].phaseId,
+                          tl.intervals[j].phaseId);
+        }
+    }
+}
+
+TEST(PhaseDetect, AlignedIntervalsMatchLevelSchedule)
+{
+    // With intervals aligned to the 12-frame segments, two intervals
+    // belong to the same phase iff their segments render the same
+    // level (the generator's ground truth).
+    const GameGenerator gen = phaseGen();
+    const Trace t = gen.generate();
+    const auto schedule = gen.levelSchedule();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    ASSERT_EQ(tl.intervals.size(), schedule.size());
+    for (std::size_t a = 0; a < schedule.size(); ++a) {
+        for (std::size_t b = a + 1; b < schedule.size(); ++b) {
+            ASSERT_EQ(schedule[a] == schedule[b],
+                      tl.intervals[a].phaseId == tl.intervals[b].phaseId)
+                << "segments " << a << " and " << b;
+        }
+    }
+}
+
+TEST(PhaseDetect, RecurringPhasesExist)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    EXPECT_TRUE(tl.hasRecurringPhase());
+    EXPECT_LT(tl.phaseCount, tl.intervals.size());
+    EXPECT_LT(tl.representativeFraction(), 1.0);
+}
+
+TEST(PhaseDetect, RepresentativeIsFirstOccurrence)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    for (std::uint32_t p = 0; p < tl.phaseCount; ++p) {
+        const std::size_t rep = tl.representatives[p];
+        EXPECT_EQ(tl.intervals[rep].phaseId, p);
+        EXPECT_EQ(rep, tl.phaseIntervals[p].front());
+        for (std::size_t iv : tl.phaseIntervals[p])
+            EXPECT_GE(iv, rep);
+    }
+}
+
+TEST(PhaseDetect, OccurrenceCountsSumToIntervals)
+{
+    const Trace t = phaseGen().generate();
+    const PhaseTimeline tl = detectPhases(t, PhaseConfig{});
+    std::size_t total = 0;
+    for (std::size_t n : tl.occurrenceCounts())
+        total += n;
+    EXPECT_EQ(total, tl.intervals.size());
+}
+
+TEST(PhaseDetect, SimilarityThresholdMergesNearMatches)
+{
+    const Trace t = phaseGen().generate();
+    PhaseConfig exact, fuzzy;
+    exact.intervalFrames = fuzzy.intervalFrames = 8; // straddles segments
+    exact.similarityThreshold = 1.0;
+    fuzzy.similarityThreshold = 0.6;
+    const PhaseTimeline tl_exact = detectPhases(t, exact);
+    const PhaseTimeline tl_fuzzy = detectPhases(t, fuzzy);
+    EXPECT_LE(tl_fuzzy.phaseCount, tl_exact.phaseCount);
+}
+
+TEST(PhaseDetect, SingleIntervalTrace)
+{
+    GameProfile p = builtinProfile("circuit", SuiteScale::Ci);
+    p.segments = 1;
+    p.segmentFramesMin = p.segmentFramesMax = 4;
+    const Trace t = GameGenerator(p).generate();
+    PhaseConfig cfg;
+    cfg.intervalFrames = 100;
+    const PhaseTimeline tl = detectPhases(t, cfg);
+    EXPECT_EQ(tl.intervals.size(), 1u);
+    EXPECT_EQ(tl.phaseCount, 1u);
+    EXPECT_FALSE(tl.hasRecurringPhase());
+}
+
+TEST(PhaseDetect, PhaseSequenceMatchesIntervals)
+{
+    const Trace t = phaseGen().generate();
+    const PhaseTimeline tl = detectPhases(t, PhaseConfig{});
+    const auto seq = tl.phaseSequence();
+    ASSERT_EQ(seq.size(), tl.intervals.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        EXPECT_EQ(seq[i], tl.intervals[i].phaseId);
+}
+
+// ---------------------------------------------------- feature clustering --
+
+TEST(FeaturePhases, SameStructureAsShaderVectorTimeline)
+{
+    const Trace t = phaseGen().generate();
+    FeaturePhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    const PhaseTimeline tl = detectPhasesByFeatures(t, cfg);
+    // Structural invariants shared with detectPhases().
+    std::uint32_t covered = 0;
+    for (const auto &iv : tl.intervals)
+        covered += iv.frames();
+    EXPECT_EQ(covered, t.frameCount());
+    std::size_t total = 0;
+    for (std::size_t n : tl.occurrenceCounts())
+        total += n;
+    EXPECT_EQ(total, tl.intervals.size());
+    for (std::uint32_t p = 0; p < tl.phaseCount; ++p) {
+        EXPECT_EQ(tl.intervals[tl.representatives[p]].phaseId, p);
+        EXPECT_EQ(tl.representatives[p], tl.phaseIntervals[p].front());
+    }
+}
+
+TEST(FeaturePhases, PhaseIdsDenseFirstAppearance)
+{
+    const Trace t = phaseGen().generate();
+    const PhaseTimeline tl =
+        detectPhasesByFeatures(t, FeaturePhaseConfig{});
+    std::uint32_t next_new = 0;
+    for (const auto &iv : tl.intervals) {
+        ASSERT_LE(iv.phaseId, next_new);
+        if (iv.phaseId == next_new)
+            ++next_new;
+    }
+    EXPECT_EQ(next_new, tl.phaseCount);
+}
+
+TEST(FeaturePhases, FindsRecurringStructureAtWiderRadius)
+{
+    // Camera-swing drift pushes revisited-level centroids apart, so
+    // feature clustering needs a wider radius than draw clustering to
+    // see the recurrence shader vectors match exactly — precisely the
+    // sensitivity the F13 ablation quantifies.
+    const Trace t = phaseGen().generate();
+    FeaturePhaseConfig cfg;
+    cfg.intervalFrames = 12;
+    cfg.radius = 2.5;
+    const PhaseTimeline tl = detectPhasesByFeatures(t, cfg);
+    EXPECT_TRUE(tl.hasRecurringPhase());
+    EXPECT_LT(tl.phaseCount, tl.intervals.size());
+}
+
+TEST(FeaturePhases, TighterRadiusNeverFewerPhases)
+{
+    const Trace t = phaseGen().generate();
+    FeaturePhaseConfig wide, narrow;
+    wide.radius = 2.0;
+    narrow.radius = 0.5;
+    EXPECT_GE(detectPhasesByFeatures(t, narrow).phaseCount,
+              detectPhasesByFeatures(t, wide).phaseCount);
+}
+
+TEST(PhaseDetect, EveryBuiltinGameHasPhases)
+{
+    // The paper's claim for the BioShock series, extended to the whole
+    // suite: phases exist (recur) in each game.
+    for (const auto &name : builtinGameNames()) {
+        const Trace t =
+            GameGenerator(builtinProfile(name, SuiteScale::Ci)).generate();
+        const PhaseTimeline tl = detectPhases(t, PhaseConfig{});
+        EXPECT_TRUE(tl.hasRecurringPhase()) << name;
+        EXPECT_GT(tl.phaseCount, 1u) << name;
+    }
+}
+
+} // namespace
+} // namespace gws

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the shader model: instruction mixes, programs, and
+ * the library's dense-ID invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "shader/shader_library.hh"
+
+namespace gws {
+namespace {
+
+TEST(InstructionMix, TotalsAddUp)
+{
+    InstructionMix m{10, 5, 2, 3, 4, 1};
+    EXPECT_EQ(m.totalOps(), 25u);
+    EXPECT_EQ(m.arithmeticOps(), 22u); // everything but texOps
+}
+
+TEST(InstructionMix, ZeroMix)
+{
+    InstructionMix m;
+    EXPECT_EQ(m.totalOps(), 0u);
+    EXPECT_EQ(m.arithmeticOps(), 0u);
+}
+
+TEST(InstructionMix, EqualityIsFieldwise)
+{
+    InstructionMix a{1, 2, 3, 4, 5, 6};
+    InstructionMix b{1, 2, 3, 4, 5, 6};
+    EXPECT_EQ(a, b);
+    b.texOps = 9;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(ShaderStage, Names)
+{
+    EXPECT_STREQ(toString(ShaderStage::Vertex), "vertex");
+    EXPECT_STREQ(toString(ShaderStage::Pixel), "pixel");
+}
+
+TEST(ShaderProgram, DefaultIsInvalid)
+{
+    ShaderProgram p;
+    EXPECT_FALSE(p.valid());
+}
+
+TEST(ShaderProgram, ConstructedFieldsStick)
+{
+    ShaderProgram p(3, ShaderStage::Pixel, "ps_metal",
+                    InstructionMix{8, 4, 1, 2, 6, 0}, 12);
+    EXPECT_TRUE(p.valid());
+    EXPECT_EQ(p.id(), 3u);
+    EXPECT_EQ(p.stage(), ShaderStage::Pixel);
+    EXPECT_EQ(p.name(), "ps_metal");
+    EXPECT_EQ(p.mix().texOps, 2u);
+    EXPECT_EQ(p.tempRegisters(), 12u);
+}
+
+TEST(ShaderLibrary, IdsAreDenseAndSequential)
+{
+    ShaderLibrary lib;
+    EXPECT_TRUE(lib.empty());
+    const ShaderId a = lib.add(ShaderStage::Vertex, "vs0", {});
+    const ShaderId b = lib.add(ShaderStage::Pixel, "ps0", {});
+    const ShaderId c = lib.add(ShaderStage::Pixel, "ps1", {});
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(c, 2u);
+    EXPECT_EQ(lib.size(), 3u);
+    EXPECT_EQ(lib.get(1).name(), "ps0");
+}
+
+TEST(ShaderLibrary, ContainsMatchesRange)
+{
+    ShaderLibrary lib;
+    lib.add(ShaderStage::Vertex, "v", {});
+    EXPECT_TRUE(lib.contains(0));
+    EXPECT_FALSE(lib.contains(1));
+    EXPECT_FALSE(lib.contains(invalidShaderId));
+}
+
+TEST(ShaderLibrary, CountStage)
+{
+    ShaderLibrary lib;
+    lib.add(ShaderStage::Vertex, "v0", {});
+    lib.add(ShaderStage::Pixel, "p0", {});
+    lib.add(ShaderStage::Pixel, "p1", {});
+    EXPECT_EQ(lib.countStage(ShaderStage::Vertex), 1u);
+    EXPECT_EQ(lib.countStage(ShaderStage::Pixel), 2u);
+}
+
+TEST(ShaderLibrary, GetOutOfRangeDies)
+{
+    ShaderLibrary lib;
+    EXPECT_DEATH(lib.get(0), "out of range");
+}
+
+TEST(ShaderLibrary, IterationVisitsInIdOrder)
+{
+    ShaderLibrary lib;
+    lib.add(ShaderStage::Vertex, "a", {});
+    lib.add(ShaderStage::Pixel, "b", {});
+    ShaderId expect = 0;
+    for (const auto &p : lib)
+        EXPECT_EQ(p.id(), expect++);
+}
+
+} // namespace
+} // namespace gws

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests of workload-subset serialization: round-trips, pricing
+ * equivalence after reload, corruption detection, and the
+ * parent-pairing cross-check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/subset_io.hh"
+#include "synth/generator.hh"
+
+namespace gws {
+namespace {
+
+Trace
+ioTrace()
+{
+    GameProfile p = builtinProfile("circuit", SuiteScale::Ci);
+    p.segments = 4;
+    p.segmentFramesMin = 6;
+    p.segmentFramesMax = 8;
+    p.drawsPerFrame = 40.0;
+    return GameGenerator(p).generate();
+}
+
+std::string
+serialize(const WorkloadSubset &s)
+{
+    std::ostringstream oss(std::ios::binary);
+    writeSubset(s, oss);
+    return oss.str();
+}
+
+TEST(SubsetIo, RoundTripPreservesStructure)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset original = buildWorkloadSubset(t, SubsetConfig{});
+    std::istringstream iss(serialize(original), std::ios::binary);
+    const WorkloadSubset copy = readSubset(iss);
+
+    EXPECT_EQ(copy.parentName, original.parentName);
+    EXPECT_EQ(copy.prediction, original.prediction);
+    EXPECT_EQ(copy.parentFrames, original.parentFrames);
+    EXPECT_EQ(copy.parentDraws, original.parentDraws);
+    ASSERT_EQ(copy.units.size(), original.units.size());
+    for (std::size_t i = 0; i < copy.units.size(); ++i) {
+        EXPECT_EQ(copy.units[i].phaseId, original.units[i].phaseId);
+        EXPECT_EQ(copy.units[i].frameIndex,
+                  original.units[i].frameIndex);
+        EXPECT_DOUBLE_EQ(copy.units[i].frameWeight,
+                         original.units[i].frameWeight);
+        EXPECT_EQ(copy.units[i].frameSubset.clustering.assignment,
+                  original.units[i].frameSubset.clustering.assignment);
+        EXPECT_EQ(copy.units[i].frameSubset.workUnits,
+                  original.units[i].frameSubset.workUnits);
+    }
+    EXPECT_EQ(copy.timeline.phaseCount, original.timeline.phaseCount);
+    EXPECT_EQ(copy.timeline.phaseSequence(),
+              original.timeline.phaseSequence());
+    EXPECT_EQ(copy.unitsOfPhase, original.unitsOfPhase);
+}
+
+TEST(SubsetIo, ReloadedSubsetPricesIdentically)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset original = buildWorkloadSubset(t, SubsetConfig{});
+    std::istringstream iss(serialize(original), std::ios::binary);
+    const WorkloadSubset copy = readSubset(iss);
+
+    for (const auto &preset : {"baseline", "wide", "mobile"}) {
+        const GpuSimulator sim(makeGpuPreset(preset));
+        ASSERT_DOUBLE_EQ(copy.predictTotalNs(t, sim),
+                         original.predictTotalNs(t, sim))
+            << preset;
+    }
+}
+
+TEST(SubsetIo, WorkScaledSubsetRoundTrips)
+{
+    const Trace t = ioTrace();
+    SubsetConfig cfg;
+    cfg.draws.prediction = PredictionMode::WorkScaled;
+    const WorkloadSubset original = buildWorkloadSubset(t, cfg);
+    std::istringstream iss(serialize(original), std::ios::binary);
+    const WorkloadSubset copy = readSubset(iss);
+    EXPECT_EQ(copy.prediction, PredictionMode::WorkScaled);
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+    EXPECT_DOUBLE_EQ(copy.predictTotalNs(t, sim),
+                     original.predictTotalNs(t, sim));
+}
+
+TEST(SubsetIo, ChecksumCatchesCorruption)
+{
+    const Trace t = ioTrace();
+    std::string data = serialize(buildWorkloadSubset(t, SubsetConfig{}));
+    data[data.size() / 2] ^= 0x40;
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readSubset(iss), SubsetIoError);
+}
+
+TEST(SubsetIo, BadMagicAndTruncationThrow)
+{
+    const Trace t = ioTrace();
+    std::string data = serialize(buildWorkloadSubset(t, SubsetConfig{}));
+    std::string bad = data;
+    bad[0] = 'X';
+    std::istringstream iss1(bad, std::ios::binary);
+    EXPECT_THROW(readSubset(iss1), SubsetIoError);
+    std::istringstream iss2(data.substr(0, data.size() - 5),
+                            std::ios::binary);
+    EXPECT_THROW(readSubset(iss2), SubsetIoError);
+    std::istringstream iss3(std::string("GW"), std::ios::binary);
+    EXPECT_THROW(readSubset(iss3), SubsetIoError);
+}
+
+TEST(SubsetIo, FileRoundTrip)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset original = buildWorkloadSubset(t, SubsetConfig{});
+    const std::string path = ::testing::TempDir() + "/gws_subset_test.gws";
+    writeSubsetFile(original, path);
+    const WorkloadSubset copy = readSubsetFile(path);
+    EXPECT_EQ(copy.parentName, original.parentName);
+    EXPECT_EQ(copy.subsetDraws(), original.subsetDraws());
+    std::remove(path.c_str());
+}
+
+TEST(SubsetIo, CheckAgainstAcceptsItsParent)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset s = buildWorkloadSubset(t, SubsetConfig{});
+    std::istringstream iss(serialize(s), std::ios::binary);
+    const WorkloadSubset copy = readSubset(iss);
+    EXPECT_NO_THROW(checkSubsetAgainst(copy, t));
+}
+
+TEST(SubsetIo, CheckAgainstRejectsWrongParent)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset s = buildWorkloadSubset(t, SubsetConfig{});
+
+    // Different game entirely.
+    GameProfile other = builtinProfile("shock1", SuiteScale::Ci);
+    other.segments = 2;
+    other.segmentFramesMin = other.segmentFramesMax = 4;
+    const Trace wrong = GameGenerator(other).generate();
+    EXPECT_THROW(checkSubsetAgainst(s, wrong), SubsetIoError);
+
+    // Same name, different content.
+    Trace renamed = wrong;
+    renamed.setName(t.name());
+    EXPECT_THROW(checkSubsetAgainst(s, renamed), SubsetIoError);
+}
+
+TEST(SubsetIo, SerializationIsDeterministic)
+{
+    const Trace t = ioTrace();
+    const WorkloadSubset s = buildWorkloadSubset(t, SubsetConfig{});
+    EXPECT_EQ(serialize(s), serialize(s));
+}
+
+} // namespace
+} // namespace gws

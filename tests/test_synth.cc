@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests of the synthetic game generator: determinism, structural
+ * properties (levels, segments, shader pools, HUD), scale presets, and
+ * trace validity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "synth/suite.hh"
+#include "trace/trace_stats.hh"
+
+namespace gws {
+namespace {
+
+GameProfile
+smallProfile()
+{
+    GameProfile p = builtinProfile("shock1", SuiteScale::Ci);
+    p.segments = 4;
+    p.segmentFramesMin = 3;
+    p.segmentFramesMax = 6;
+    p.drawsPerFrame = 30.0;
+    return p;
+}
+
+TEST(GameProfile, ScaleNamesRoundTrip)
+{
+    EXPECT_EQ(parseSuiteScale("ci"), SuiteScale::Ci);
+    EXPECT_EQ(parseSuiteScale("paper"), SuiteScale::Paper);
+    EXPECT_STREQ(toString(SuiteScale::Ci), "ci");
+    EXPECT_STREQ(toString(SuiteScale::Paper), "paper");
+}
+
+TEST(GameProfile, BuiltinsValidateAtBothScales)
+{
+    for (const auto &name : builtinGameNames()) {
+        builtinProfile(name, SuiteScale::Ci).validate();
+        builtinProfile(name, SuiteScale::Paper).validate();
+    }
+}
+
+TEST(GameProfile, PaperScaleIsBigger)
+{
+    for (const auto &name : builtinGameNames()) {
+        const GameProfile ci = builtinProfile(name, SuiteScale::Ci);
+        const GameProfile paper = builtinProfile(name, SuiteScale::Paper);
+        EXPECT_GT(paper.drawsPerFrame, ci.drawsPerFrame);
+        EXPECT_GT(paper.segmentFramesMax, ci.segmentFramesMax);
+        EXPECT_GT(paper.materialsPerLevel, ci.materialsPerLevel);
+    }
+}
+
+TEST(GameProfile, ValidateCatchesBadRanges)
+{
+    GameProfile p = smallProfile();
+    p.segmentFramesMax = p.segmentFramesMin - 1;
+    EXPECT_DEATH(p.validate(), "segment frame range");
+}
+
+TEST(GameGenerator, DeterministicForSameProfile)
+{
+    const GameProfile p = smallProfile();
+    const Trace a = GameGenerator(p).generate();
+    const Trace b = GameGenerator(p).generate();
+    EXPECT_EQ(a, b);
+}
+
+TEST(GameGenerator, DifferentSeedsDiffer)
+{
+    GameProfile p = smallProfile();
+    const Trace a = GameGenerator(p).generate();
+    p.seed ^= 0xdeadbeef;
+    const Trace b = GameGenerator(p).generate();
+    EXPECT_FALSE(a == b);
+}
+
+TEST(GameGenerator, GeneratedTraceValidates)
+{
+    GameGenerator(smallProfile()).generate().validate();
+}
+
+TEST(GameGenerator, FrameCountMatchesSchedule)
+{
+    const GameGenerator gen(smallProfile());
+    const auto seg_frames = gen.segmentFrames();
+    std::uint64_t expect = 0;
+    for (auto n : seg_frames)
+        expect += n;
+    EXPECT_EQ(gen.generate().frameCount(), expect);
+}
+
+TEST(GameGenerator, ScheduleVisitsEveryLevel)
+{
+    const GameGenerator gen(smallProfile());
+    const auto schedule = gen.levelSchedule();
+    EXPECT_EQ(schedule.size(), gen.profile().segments);
+    std::set<std::uint32_t> levels(schedule.begin(), schedule.end());
+    EXPECT_EQ(levels.size(), gen.profile().levels);
+    for (std::uint32_t l : schedule)
+        EXPECT_LT(l, gen.profile().levels);
+}
+
+TEST(GameGenerator, ScheduleRevisitsWhenSegmentsExceedLevels)
+{
+    GameProfile p = smallProfile();
+    p.levels = 2;
+    p.segments = 8;
+    const auto schedule = GameGenerator(p).levelSchedule();
+    std::set<std::uint32_t> seen;
+    bool revisit = false;
+    for (std::uint32_t l : schedule) {
+        if (seen.count(l))
+            revisit = true;
+        seen.insert(l);
+    }
+    EXPECT_TRUE(revisit);
+}
+
+TEST(GameGenerator, EveryFrameHasSkyAndHud)
+{
+    const GameProfile p = smallProfile();
+    const Trace t = GameGenerator(p).generate();
+    for (const auto &frame : t.frames()) {
+        ASSERT_GE(frame.drawCount(), 1u + p.hudMaterials);
+        // HUD draws are the trailing draws and use material ids
+        // below hudMaterials.
+        for (std::uint32_t h = 0; h < p.hudMaterials; ++h) {
+            const auto &d =
+                frame.draws()[frame.drawCount() - 1 - h];
+            EXPECT_LT(d.materialId, p.hudMaterials);
+            EXPECT_FALSE(d.state.depthTestEnabled);
+        }
+        // The first draw of a frame is the full-screen sky.
+        EXPECT_GE(frame.draws()[0].materialId, p.hudMaterials);
+    }
+}
+
+TEST(GameGenerator, DrawRateLandsNearTarget)
+{
+    GameProfile p = smallProfile();
+    p.segments = 6;
+    p.segmentFramesMin = 10;
+    p.segmentFramesMax = 10;
+    p.drawsPerFrame = 80.0;
+    const Trace t = GameGenerator(p).generate();
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_NEAR(s.drawsPerFrame, 80.0, 80.0 * 0.25);
+}
+
+TEST(GameGenerator, MaterialsClusterWithinFrames)
+{
+    // Draws sharing a material id must share shaders and state — the
+    // property draw-call clustering exploits.
+    const Trace t = GameGenerator(smallProfile()).generate();
+    for (const auto &frame : t.frames()) {
+        std::map<std::uint32_t, const DrawCall *> first;
+        for (const auto &d : frame.draws()) {
+            auto [it, inserted] = first.insert({d.materialId, &d});
+            if (!inserted) {
+                EXPECT_EQ(d.state.pixelShader,
+                          it->second->state.pixelShader);
+                EXPECT_EQ(d.state.vertexShader,
+                          it->second->state.vertexShader);
+                EXPECT_EQ(d.state.blendEnabled,
+                          it->second->state.blendEnabled);
+            }
+        }
+    }
+}
+
+TEST(GameGenerator, LevelsUseDisjointPixelShaderPools)
+{
+    GameProfile p = smallProfile();
+    p.levels = 3;
+    p.segments = 3;
+    const GameGenerator gen(p);
+    const Trace t = gen.generate();
+    const auto schedule = gen.levelSchedule();
+    const auto seg_frames = gen.segmentFrames();
+
+    // Collect non-HUD pixel shaders per segment and check that
+    // different levels' pools do not overlap.
+    std::vector<std::set<ShaderId>> pools(p.levels);
+    std::uint32_t frame = 0;
+    for (std::size_t seg = 0; seg < schedule.size(); ++seg) {
+        for (std::uint32_t f = 0; f < seg_frames[seg]; ++f, ++frame) {
+            for (const auto &d : t.frame(frame).draws()) {
+                if (d.materialId >= p.hudMaterials)
+                    pools[schedule[seg]].insert(d.state.pixelShader);
+            }
+        }
+    }
+    for (std::uint32_t a = 0; a < p.levels; ++a) {
+        for (std::uint32_t b = a + 1; b < p.levels; ++b) {
+            for (ShaderId id : pools[a])
+                EXPECT_FALSE(pools[b].count(id))
+                    << "levels " << a << " and " << b
+                    << " share scene shader " << id;
+        }
+    }
+}
+
+TEST(Suite, GeneratesAllSixGames)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    ASSERT_EQ(suite.size(), 6u);
+    const auto names = builtinGameNames();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        EXPECT_EQ(suite[i].name(), names[i]);
+        EXPECT_GT(suite[i].frameCount(), 0u);
+        suite[i].validate();
+    }
+}
+
+TEST(Suite, CorpusSamplingHitsTargetExactly)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    const auto corpus = sampleCorpus(suite, 72);
+    EXPECT_EQ(corpus.size(), 72u);
+    for (const auto &cf : corpus) {
+        ASSERT_LT(cf.traceIndex, suite.size());
+        ASSERT_LT(cf.frameIndex, suite[cf.traceIndex].frameCount());
+    }
+}
+
+TEST(Suite, CorpusUsesAllFramesWhenTargetExceedsTotal)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    std::uint64_t total = 0;
+    for (const auto &t : suite)
+        total += t.frameCount();
+    const auto corpus = sampleCorpus(suite, total * 10);
+    EXPECT_EQ(corpus.size(), total);
+}
+
+TEST(Suite, CorpusCoversEveryGame)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    const auto corpus = sampleCorpus(suite, 72);
+    std::set<std::size_t> games;
+    for (const auto &cf : corpus)
+        games.insert(cf.traceIndex);
+    EXPECT_EQ(games.size(), suite.size());
+}
+
+TEST(Suite, DefaultCorpusSizes)
+{
+    EXPECT_EQ(defaultCorpusFrames(SuiteScale::Ci), 72u);
+    EXPECT_EQ(defaultCorpusFrames(SuiteScale::Paper), 717u);
+}
+
+TEST(Suite, CorpusDrawsArePositive)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    const auto corpus = sampleCorpus(suite, 10);
+    EXPECT_GT(corpusDraws(suite, corpus), 0u);
+}
+
+} // namespace
+} // namespace gws

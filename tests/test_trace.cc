@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the trace data model: topology math, resources, draw
+ * calls, frames, traces, statistics, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+#include "trace/trace_stats.hh"
+
+namespace gws {
+namespace {
+
+// -------------------------------------------------------------- topology --
+
+struct TopologyCase
+{
+    PrimitiveTopology topo;
+    std::uint64_t vertices;
+    std::uint64_t prims;
+};
+
+class TopologyCount : public ::testing::TestWithParam<TopologyCase>
+{
+};
+
+TEST_P(TopologyCount, MatchesApiSemantics)
+{
+    const auto &c = GetParam();
+    EXPECT_EQ(primitiveCount(c.topo, c.vertices), c.prims);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, TopologyCount,
+    ::testing::Values(
+        TopologyCase{PrimitiveTopology::PointList, 0, 0},
+        TopologyCase{PrimitiveTopology::PointList, 7, 7},
+        TopologyCase{PrimitiveTopology::LineList, 7, 3},
+        TopologyCase{PrimitiveTopology::LineList, 8, 4},
+        TopologyCase{PrimitiveTopology::LineStrip, 1, 0},
+        TopologyCase{PrimitiveTopology::LineStrip, 8, 7},
+        TopologyCase{PrimitiveTopology::TriangleList, 2, 0},
+        TopologyCase{PrimitiveTopology::TriangleList, 9, 3},
+        TopologyCase{PrimitiveTopology::TriangleList, 11, 3},
+        TopologyCase{PrimitiveTopology::TriangleStrip, 2, 0},
+        TopologyCase{PrimitiveTopology::TriangleStrip, 3, 1},
+        TopologyCase{PrimitiveTopology::TriangleStrip, 10, 8}));
+
+TEST(Topology, NamesAreDistinct)
+{
+    EXPECT_STREQ(toString(PrimitiveTopology::TriangleList),
+                 "triangle_list");
+    EXPECT_STRNE(toString(PrimitiveTopology::TriangleList),
+                 toString(PrimitiveTopology::TriangleStrip));
+}
+
+TEST(Topology, VerticesPerPrimitive)
+{
+    EXPECT_EQ(verticesPerPrimitive(PrimitiveTopology::TriangleList), 3u);
+    EXPECT_EQ(verticesPerPrimitive(PrimitiveTopology::LineList), 2u);
+    EXPECT_EQ(verticesPerPrimitive(PrimitiveTopology::TriangleStrip), 1u);
+}
+
+// -------------------------------------------------------------- resources --
+
+TEST(TextureDesc, SizeWithAndWithoutMips)
+{
+    TextureDesc flat{1024, 1024, 4, false};
+    EXPECT_EQ(flat.sizeBytes(), 4u * 1024 * 1024);
+    TextureDesc mipped{1024, 1024, 4, true};
+    EXPECT_EQ(mipped.sizeBytes(),
+              4u * 1024 * 1024 + (4u * 1024 * 1024) / 3);
+}
+
+TEST(RenderTargetDesc, PixelAndByteMath)
+{
+    RenderTargetDesc rt{1920, 1080, 4};
+    EXPECT_EQ(rt.pixels(), 1920u * 1080u);
+    EXPECT_EQ(rt.sizeBytes(), 1920u * 1080u * 4u);
+}
+
+// -------------------------------------------------------------- draw call --
+
+TEST(DrawCall, DerivedQuantities)
+{
+    DrawCall d;
+    d.vertexCount = 300;
+    d.instanceCount = 4;
+    d.topology = PrimitiveTopology::TriangleList;
+    d.vertexStrideBytes = 32;
+    d.shadedPixels = 6000;
+    d.overdraw = 2.0;
+    EXPECT_EQ(d.vertices(), 1200u);
+    EXPECT_EQ(d.primitives(), 400u); // 100 per instance x 4
+    EXPECT_EQ(d.vertexFetchBytes(), 1200u * 32u);
+    EXPECT_EQ(d.coveredPixels(), 3000u);
+}
+
+TEST(DrawCall, CoveredPixelsWithUnitOverdraw)
+{
+    DrawCall d;
+    d.shadedPixels = 777;
+    d.overdraw = 1.0;
+    EXPECT_EQ(d.coveredPixels(), 777u);
+}
+
+TEST(DrawCall, StripInstancingCountsPerInstance)
+{
+    DrawCall d;
+    d.vertexCount = 10;
+    d.instanceCount = 3;
+    d.topology = PrimitiveTopology::TriangleStrip;
+    EXPECT_EQ(d.primitives(), 24u); // 8 per instance
+}
+
+// ------------------------------------------------------------------ frame --
+
+/** Build a minimal valid trace with the given number of frames. */
+Trace
+tinyTrace(std::uint32_t frames, std::uint32_t draws_per_frame)
+{
+    Trace t("tiny");
+    const ShaderId vs = t.shaders().add(ShaderStage::Vertex, "vs",
+                                        InstructionMix{10, 5, 0, 0, 0, 1});
+    const ShaderId ps0 = t.shaders().add(ShaderStage::Pixel, "ps0",
+                                         InstructionMix{20, 8, 1, 2, 6, 2});
+    const ShaderId ps1 = t.shaders().add(ShaderStage::Pixel, "ps1",
+                                         InstructionMix{30, 4, 0, 1, 4, 0});
+    const TextureId tex = t.addTexture(TextureDesc{256, 256, 4, true});
+    const RenderTargetId rt = t.addRenderTarget(
+        RenderTargetDesc{640, 480, 4});
+    for (std::uint32_t fi = 0; fi < frames; ++fi) {
+        Frame f(fi);
+        for (std::uint32_t di = 0; di < draws_per_frame; ++di) {
+            DrawCall d;
+            d.state.vertexShader = vs;
+            d.state.pixelShader = di % 2 ? ps1 : ps0;
+            d.state.textures = {tex};
+            d.state.renderTarget = rt;
+            d.vertexCount = 30 + di;
+            d.shadedPixels = 1000 + 10 * di;
+            d.materialId = di;
+            f.addDraw(d);
+        }
+        t.addFrame(std::move(f));
+    }
+    return t;
+}
+
+TEST(Frame, TotalsAndShaderSets)
+{
+    const Trace t = tinyTrace(1, 4);
+    const Frame &f = t.frame(0);
+    EXPECT_EQ(f.drawCount(), 4u);
+    EXPECT_EQ(f.totalVertices(), 30u + 31 + 32 + 33);
+    EXPECT_EQ(f.totalShadedPixels(), 1000u + 1010 + 1020 + 1030);
+    EXPECT_EQ(f.pixelShaderSet().size(), 2u);
+    EXPECT_EQ(f.shaderSet().size(), 3u); // vs + 2 ps
+}
+
+TEST(Frame, EmptyFrameTotalsAreZero)
+{
+    Frame f(0);
+    EXPECT_EQ(f.drawCount(), 0u);
+    EXPECT_EQ(f.totalVertices(), 0u);
+    EXPECT_TRUE(f.pixelShaderSet().empty());
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(Trace, ResourceTablesAssignDenseIds)
+{
+    Trace t("x");
+    EXPECT_EQ(t.addTexture(TextureDesc{64, 64, 4, false}), 0u);
+    EXPECT_EQ(t.addTexture(TextureDesc{128, 128, 4, false}), 1u);
+    EXPECT_EQ(t.addRenderTarget(RenderTargetDesc{64, 64, 4}), 0u);
+    EXPECT_EQ(t.texture(1).width, 128u);
+}
+
+TEST(Trace, TotalDrawsSumsFrames)
+{
+    const Trace t = tinyTrace(3, 5);
+    EXPECT_EQ(t.frameCount(), 3u);
+    EXPECT_EQ(t.totalDraws(), 15u);
+}
+
+TEST(Trace, ValidatePassesOnWellFormed)
+{
+    const Trace t = tinyTrace(2, 3);
+    t.validate(); // must not panic
+}
+
+TEST(Trace, ValidateDiesOnDanglingShader)
+{
+    Trace t = tinyTrace(1, 1);
+    Frame f(1);
+    DrawCall d = t.frame(0).draws()[0];
+    d.state.pixelShader = 99; // dangling
+    f.addDraw(d);
+    t.addFrame(std::move(f));
+    EXPECT_DEATH(t.validate(), "dangling pixel shader");
+}
+
+TEST(Trace, ValidateDiesOnStageMismatch)
+{
+    Trace t = tinyTrace(1, 1);
+    Frame f(1);
+    DrawCall d = t.frame(0).draws()[0];
+    d.state.pixelShader = d.state.vertexShader; // VS bound as PS
+    f.addDraw(d);
+    t.addFrame(std::move(f));
+    EXPECT_DEATH(t.validate(), "non-pixel shader");
+}
+
+TEST(Trace, ValidateDiesOnOversizedCoverage)
+{
+    Trace t = tinyTrace(1, 1);
+    Frame f(1);
+    DrawCall d = t.frame(0).draws()[0];
+    d.shadedPixels = 10u * 640 * 480; // way over the target
+    d.overdraw = 1.0;
+    f.addDraw(d);
+    t.addFrame(std::move(f));
+    EXPECT_DEATH(t.validate(), "covers");
+}
+
+TEST(Trace, AddFrameDiesOnIndexGap)
+{
+    Trace t("x");
+    EXPECT_DEATH(t.addFrame(Frame(3)), "appended at position");
+}
+
+TEST(Trace, EqualityIsStructural)
+{
+    const Trace a = tinyTrace(2, 3);
+    const Trace b = tinyTrace(2, 3);
+    EXPECT_EQ(a, b);
+    const Trace c = tinyTrace(2, 4);
+    EXPECT_FALSE(a == c);
+}
+
+// ------------------------------------------------------------ trace stats --
+
+TEST(TraceStats, AggregatesMatchHandComputation)
+{
+    const Trace t = tinyTrace(2, 4);
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_EQ(s.frames, 2u);
+    EXPECT_EQ(s.draws, 8u);
+    EXPECT_DOUBLE_EQ(s.drawsPerFrame, 4.0);
+    EXPECT_EQ(s.shaderPrograms, 3u);
+    EXPECT_EQ(s.pixelShaderPrograms, 2u);
+    EXPECT_EQ(s.vertices, 2u * (30 + 31 + 32 + 33));
+    EXPECT_DOUBLE_EQ(s.pixelShadersPerFrame, 2.0);
+    EXPECT_DOUBLE_EQ(s.meanOverdraw, 1.0);
+    EXPECT_GT(s.textureBytes, 0u);
+}
+
+TEST(TraceStats, EmptyTraceIsZero)
+{
+    const Trace t("empty");
+    const TraceStats s = computeTraceStats(t);
+    EXPECT_EQ(s.frames, 0u);
+    EXPECT_EQ(s.draws, 0u);
+    EXPECT_DOUBLE_EQ(s.drawsPerFrame, 0.0);
+}
+
+} // namespace
+} // namespace gws

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Serialization tests: round-trips, header validation, checksum and
+ * truncation detection, file I/O errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "synth/generator.hh"
+#include "trace/trace_io.hh"
+
+namespace gws {
+namespace {
+
+Trace
+sampleTrace()
+{
+    GameProfile p = builtinProfile("shock1", SuiteScale::Ci);
+    p.segments = 2;
+    p.segmentFramesMin = 2;
+    p.segmentFramesMax = 3;
+    p.drawsPerFrame = 20.0;
+    return GameGenerator(p).generate();
+}
+
+std::string
+serializeToString(const Trace &t)
+{
+    std::ostringstream oss(std::ios::binary);
+    writeTrace(t, oss);
+    return oss.str();
+}
+
+TEST(TraceIo, RoundTripPreservesEverything)
+{
+    const Trace original = sampleTrace();
+    std::istringstream iss(serializeToString(original),
+                           std::ios::binary);
+    const Trace copy = readTrace(iss);
+    EXPECT_EQ(original, copy);
+    copy.validate();
+}
+
+TEST(TraceIo, RoundTripOfEmptyTrace)
+{
+    Trace original("nothing");
+    std::istringstream iss(serializeToString(original),
+                           std::ios::binary);
+    const Trace copy = readTrace(iss);
+    EXPECT_EQ(copy.name(), "nothing");
+    EXPECT_EQ(copy.frameCount(), 0u);
+    EXPECT_EQ(original, copy);
+}
+
+TEST(TraceIo, RoundTripPreservesStateFlags)
+{
+    Trace t("flags");
+    const ShaderId vs = t.shaders().add(ShaderStage::Vertex, "vs", {});
+    const ShaderId ps = t.shaders().add(ShaderStage::Pixel, "ps", {});
+    const RenderTargetId rt = t.addRenderTarget({64, 64, 4});
+    Frame f(0);
+    DrawCall d;
+    d.state.vertexShader = vs;
+    d.state.pixelShader = ps;
+    d.state.renderTarget = rt;
+    d.state.blendEnabled = true;
+    d.state.depthTestEnabled = false;
+    d.state.depthWriteEnabled = false;
+    d.topology = PrimitiveTopology::LineStrip;
+    d.shadedPixels = 12;
+    d.overdraw = 1.5;
+    d.texLocality = 0.25;
+    f.addDraw(d);
+    t.addFrame(std::move(f));
+
+    std::istringstream iss(serializeToString(t), std::ios::binary);
+    const Trace copy = readTrace(iss);
+    const DrawCall &rd = copy.frame(0).draws()[0];
+    EXPECT_TRUE(rd.state.blendEnabled);
+    EXPECT_FALSE(rd.state.depthTestEnabled);
+    EXPECT_FALSE(rd.state.depthWriteEnabled);
+    EXPECT_EQ(rd.topology, PrimitiveTopology::LineStrip);
+    EXPECT_DOUBLE_EQ(rd.overdraw, 1.5);
+    EXPECT_DOUBLE_EQ(rd.texLocality, 0.25);
+}
+
+TEST(TraceIo, BadMagicThrows)
+{
+    std::string data = serializeToString(sampleTrace());
+    data[0] = 'X';
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, UnsupportedVersionThrows)
+{
+    std::string data = serializeToString(sampleTrace());
+    data[4] = static_cast<char>(traceFormatVersion + 1);
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, CorruptPayloadFailsChecksum)
+{
+    std::string data = serializeToString(sampleTrace());
+    data[data.size() / 2] ^= 0x5a;
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, TruncatedPayloadThrows)
+{
+    std::string data = serializeToString(sampleTrace());
+    data.resize(data.size() - 10);
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, TruncatedHeaderThrows)
+{
+    std::istringstream iss(std::string("GWST"), std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, EmptyStreamThrows)
+{
+    std::istringstream iss(std::string(), std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const Trace original = sampleTrace();
+    const std::string path = ::testing::TempDir() + "/gws_io_test.trace";
+    writeTraceFile(original, path);
+    const Trace copy = readTraceFile(path);
+    EXPECT_EQ(original, copy);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/dir/x.trace"), TraceIoError);
+}
+
+TEST(TraceIo, UnwritablePathThrows)
+{
+    const Trace t = sampleTrace();
+    EXPECT_THROW(writeTraceFile(t, "/nonexistent/dir/x.trace"),
+                 TraceIoError);
+}
+
+TEST(TraceIo, SerializationIsDeterministic)
+{
+    const Trace t = sampleTrace();
+    EXPECT_EQ(serializeToString(t), serializeToString(t));
+}
+
+TEST(TraceIo, FuzzSingleByteCorruptionNeverCrashes)
+{
+    // Flip one byte at 200 positions spread over the file: the reader
+    // must either throw TraceIoError (checksum or structure) or —
+    // never — crash / hand back a trace that fails validation.
+    const Trace original = sampleTrace();
+    const std::string good = serializeToString(original);
+    for (std::size_t i = 0; i < 200; ++i) {
+        const std::size_t pos = i * good.size() / 200;
+        std::string bad = good;
+        bad[pos] = static_cast<char>(bad[pos] ^ (0x01 << (i % 8)));
+        if (bad == good)
+            continue;
+        std::istringstream iss(bad, std::ios::binary);
+        try {
+            const Trace t = readTrace(iss);
+            // Only reachable if the flip missed every checked field
+            // (cannot happen: payload is checksummed; header flips
+            // break magic/version/size).
+            t.validate();
+        } catch (const TraceIoError &) {
+            // expected path
+        }
+    }
+}
+
+TEST(TraceIo, FuzzRandomTruncationAlwaysThrows)
+{
+    const Trace original = sampleTrace();
+    const std::string good = serializeToString(original);
+    for (std::size_t len : {0ul, 1ul, 7ul, 15ul, 16ul, 17ul,
+                            good.size() / 2, good.size() - 1}) {
+        std::istringstream iss(good.substr(0, len), std::ios::binary);
+        EXPECT_THROW(readTrace(iss), TraceIoError) << "length " << len;
+    }
+}
+
+TEST(TraceIo, AllBuiltinGamesRoundTrip)
+{
+    for (const auto &name : builtinGameNames()) {
+        GameProfile p = builtinProfile(name, SuiteScale::Ci);
+        p.segments = 2;
+        p.segmentFramesMin = 2;
+        p.segmentFramesMax = 2;
+        p.drawsPerFrame = 15.0;
+        const Trace t = GameGenerator(p).generate();
+        std::istringstream iss(serializeToString(t), std::ios::binary);
+        EXPECT_EQ(readTrace(iss), t) << name;
+    }
+}
+
+} // namespace
+} // namespace gws
