@@ -10,9 +10,11 @@
 #define GWS_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "runtime/runtime.hh"
 #include "synth/suite.hh"
 #include "util/args.hh"
 
@@ -39,10 +41,52 @@ addScaleOption(ArgParser &args)
                    "suite scale: ci (fast) or paper (717-frame corpus)");
 }
 
-/** Build the context for the parsed options. */
+/**
+ * Register the standard --threads option (0 = hardware concurrency),
+ * defaulting from the GWS_THREADS environment variable, plus the
+ * --runtime-stats flag. Applied by makeBenchContext() /
+ * applyThreadsOption().
+ */
+inline void
+addThreadsOption(ArgParser &args)
+{
+    std::int64_t def = 0;
+    if (const char *env = std::getenv("GWS_THREADS"))
+        def = std::atoll(env);
+    args.addInt("threads", def,
+                "worker threads, 0 = hardware concurrency "
+                "(default from GWS_THREADS)");
+    args.addFlag("runtime-stats",
+                 "print parallel-runtime counters before exit");
+}
+
+/** Apply a parsed --threads value to the global runtime config. */
+inline void
+applyThreadsOption(const ArgParser &args)
+{
+    RuntimeConfig cfg = runtimeConfig();
+    const std::int64_t t = args.getInt("threads");
+    cfg.threads = t <= 0 ? 0 : static_cast<std::size_t>(t);
+    setRuntimeConfig(cfg);
+}
+
+/** Print the runtime counter report if --runtime-stats was given. */
+inline void
+reportRuntime(const ArgParser &args)
+{
+    if (args.getFlag("runtime-stats"))
+        std::fputs(runtimeCountersReport().c_str(), stdout);
+}
+
+/**
+ * Build the context for the parsed options. Requires both
+ * addScaleOption() and addThreadsOption() to have been registered —
+ * every bench takes --threads.
+ */
 inline BenchContext
 makeBenchContext(const ArgParser &args)
 {
+    applyThreadsOption(args);
     BenchContext ctx;
     ctx.scale = parseSuiteScale(args.getString("scale"));
     ctx.suite = generateSuite(ctx.scale);

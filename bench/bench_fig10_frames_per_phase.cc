@@ -25,6 +25,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig10_frames_per_phase",
                    "frames-per-phase ablation (extension, Fig. 10)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -68,5 +69,6 @@ main(int argc, char **argv)
     std::printf("\nthe paper's configuration is one frame from one "
                 "occurrence; both axes are accuracy/size knobs this "
                 "reproduction adds.\n");
+    reportRuntime(args);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig11_temporal",
                    "temporal cross-frame clustering (extension)");
     addScaleOption(args);
+    addThreadsOption(args);
     args.addInt("max-frames", 0,
                 "cap on processed frames per game (0 = all at ci, "
                 "60 at paper scale)");
@@ -69,5 +70,6 @@ main(int argc, char **argv)
     std::printf("\nclusters persist across frames, so representatives "
                 "are simulated once per playthrough — the paper's "
                 "per-frame efficiency is the floor, not the ceiling.\n");
+    reportRuntime(args);
     return 0;
 }

@@ -20,6 +20,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig12_energy",
                    "DVFS energy / EDP study on subsets (extension)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -62,5 +63,6 @@ main(int argc, char **argv)
                 dcfg.power.switchedCapacitanceNf, dcfg.power.voltageAt1Ghz,
                 dcfg.power.voltageSlopePerGhz, dcfg.power.leakagePerVolt,
                 dcfg.power.dramPicojoulesPerByte, dcfg.power.boardWatts);
+    reportRuntime(args);
     return all_agree ? 0 : 1;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
                    "shader vectors vs SimPoint-style feature clustering "
                    "(ablation)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -55,5 +56,6 @@ main(int argc, char **argv)
                 "need no feature extraction or clustering over the "
                 "whole playthrough and match phases exactly at level "
                 "granularity, which is the paper's point.\n");
+    reportRuntime(args);
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig14_suite_subset",
                    "cross-workload frame subsetting (extension)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -73,5 +74,6 @@ main(int argc, char **argv)
     std::printf("\ncross-game clusters show the corpus redundancy the "
                 "paper's motivation implies: different games render "
                 "frames that one representative can stand for.\n");
+    reportRuntime(args);
     return 0;
 }

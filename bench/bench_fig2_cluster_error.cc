@@ -19,6 +19,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig2_cluster_error",
                    "per-frame prediction error & efficiency (Fig. 2)");
     addScaleOption(args);
+    addThreadsOption(args);
     args.addDouble("radius", 0.95, "leader clustering radius");
     args.addString("prediction", "uniform",
                    "prediction mode: uniform or work_scaled");
@@ -72,5 +73,6 @@ main(int argc, char **argv)
                 "   [paper: 1.0%% error @ 65.8%% efficiency]\n",
                 overall.meanError * 100.0,
                 overall.meanEfficiency * 100.0);
+    reportRuntime(args);
     return 0;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig3_outliers",
                    "cluster outliers > 20% intra error (Fig. 3)");
     addScaleOption(args);
+    addThreadsOption(args);
     args.addDouble("radius", 0.95, "leader clustering radius");
     args.addDouble("threshold", defaultOutlierThreshold,
                    "outlier threshold on intra-cluster error");
@@ -76,5 +77,6 @@ main(int argc, char **argv)
                                      static_cast<double>(total_outliers) /
                                      static_cast<double>(total_clusters)
                                : 0.0);
+    reportRuntime(args);
     return 0;
 }

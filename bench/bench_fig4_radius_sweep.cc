@@ -45,6 +45,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig4_radius_sweep",
                    "error/efficiency vs clustering radius (Fig. 4)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -141,5 +142,6 @@ main(int argc, char **argv)
                 agg.meanEfficiency * 100.0);
     std::printf("paper operating point: 1.0%% error @ 65.8%% "
                 "efficiency\n");
+    reportRuntime(args);
     return 0;
 }

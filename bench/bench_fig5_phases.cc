@@ -30,6 +30,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig5_phases",
                    "shader-vector phase detection (Fig. 5)");
     addScaleOption(args);
+    addThreadsOption(args);
     args.addInt("interval", 10, "frames per interval");
     if (!args.parse(argc, argv))
         return 0;
@@ -76,5 +77,6 @@ main(int argc, char **argv)
     std::fputs(sens.renderAscii().c_str(), stdout);
     std::printf("\npaper: phases exist in each BioShock-series game "
                 "(recurring = yes for shock1/shock2/shockinf)\n");
+    reportRuntime(args);
     return 0;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig6_subset_size",
                    "subset size vs parent workload (Fig. 6)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -47,5 +48,6 @@ main(int argc, char **argv)
     std::printf("\nworst subset fraction: %.3f%%   [paper: < 1%% of the "
                 "parent workload; holds at paper scale]\n",
                 worst_fraction * 100.0);
+    reportRuntime(args);
     return 0;
 }

@@ -21,6 +21,7 @@ main(int argc, char **argv)
                    "subset vs parent under GPU frequency scaling "
                    "(Fig. 7)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -61,5 +62,6 @@ main(int argc, char **argv)
     std::printf("\nminimum correlation across games: %.4f%%   "
                 "[paper: 99.7%%+]\n",
                 min_corr * 100.0);
+    reportRuntime(args);
     return 0;
 }

@@ -18,6 +18,7 @@ main(int argc, char **argv)
     ArgParser args("bench_fig9_pathfinding",
                    "architecture ranking on subsets (Fig. 9)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -60,5 +61,6 @@ main(int argc, char **argv)
                 all_preserved ? "yes" : "NO", min_corr * 100.0);
     std::printf("design points: baseline, wide (2x cores), fastmem "
                 "(1.6x memory clock), bigcache (4x L2), mobile\n");
+    reportRuntime(args);
     return all_preserved ? 0 : 1;
 }

@@ -19,6 +19,7 @@ main(int argc, char **argv)
     ArgParser args("bench_table1_workloads",
                    "workload inventory (paper Table 1)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -51,5 +52,6 @@ main(int argc, char **argv)
                 "   [paper: 717 frames, 828K draws]\n",
                 ctx.corpus.size(),
                 humanCount(static_cast<double>(corpus_draws)).c_str());
+    reportRuntime(args);
     return 0;
 }

@@ -20,6 +20,7 @@ main(int argc, char **argv)
     ArgParser args("bench_table2_bottlenecks",
                    "per-game bottleneck distribution (Table 2)");
     addScaleOption(args);
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
     const BenchContext ctx = makeBenchContext(args);
@@ -51,5 +52,6 @@ main(int argc, char **argv)
                 "bottleneck is that stage; the 'dram %%' column is the "
                 "memory-bound time core-frequency scaling cannot "
                 "improve (see F7's sublinear curves).\n");
+    reportRuntime(args);
     return 0;
 }

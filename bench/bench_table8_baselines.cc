@@ -24,6 +24,7 @@ main(int argc, char **argv)
     ArgParser args("bench_table8_baselines",
                    "clustering vs sampling baselines (Table 8)");
     addScaleOption(args);
+    addThreadsOption(args);
     args.addInt("seeds", 4, "random repetitions per frame");
     if (!args.parse(argc, argv))
         return 0;
@@ -87,5 +88,6 @@ main(int argc, char **argv)
 
     std::printf("\nclustering on micro-architecture-independent features "
                 "beats every similarity-blind selector at equal budget.\n");
+    reportRuntime(args);
     return 0;
 }

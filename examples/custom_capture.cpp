@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "core/subset_pipeline.hh"
 #include "gpusim/gpu_simulator.hh"
 #include "trace/recorder.hh"
@@ -27,8 +28,10 @@ main(int argc, char **argv)
     ArgParser args("custom_capture",
                    "record a workload via the capture API and subset it");
     args.addInt("frames", 60, "frames to record");
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
+    applyThreadsOption(args);
     const auto frames = static_cast<std::uint32_t>(args.getInt("frames"));
 
     TraceRecorder rec("arena");

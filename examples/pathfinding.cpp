@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "core/pathfinding.hh"
 #include "synth/generator.hh"
 #include "util/args.hh"
@@ -25,8 +26,10 @@ main(int argc, char **argv)
                    "rank GPU design points on a workload subset");
     args.addString("game", "shockinf", "built-in game to generate");
     args.addString("scale", "ci", "suite scale: ci or paper");
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
+    applyThreadsOption(args);
 
     const Trace trace =
         GameGenerator(builtinProfile(args.getString("game"),

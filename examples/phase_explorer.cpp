@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "phase/phase_detect.hh"
 #include "synth/generator.hh"
 #include "util/args.hh"
@@ -40,8 +41,10 @@ main(int argc, char **argv)
     args.addInt("interval", 10, "frames per interval");
     args.addDouble("similarity", 1.0,
                    "Jaccard threshold (1.0 = exact equality)");
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
+    applyThreadsOption(args);
 
     const GameGenerator gen(builtinProfile(
         args.getString("game"), parseSuiteScale(args.getString("scale"))));

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "core/subset_pipeline.hh"
 #include "gpusim/gpu_simulator.hh"
 #include "synth/generator.hh"
@@ -29,8 +30,10 @@ main(int argc, char **argv)
     args.addString("game", "shock1", "built-in game to generate");
     args.addString("scale", "ci", "suite scale: ci or paper");
     args.addDouble("radius", 0.95, "draw-clustering radius");
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
+    applyThreadsOption(args);
 
     // 1. Generate a synthetic playthrough.
     const GameProfile profile = builtinProfile(

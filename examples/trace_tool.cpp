@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_common.hh"
 #include "core/subset_io.hh"
 #include "synth/generator.hh"
 #include "trace/trace_io.hh"
@@ -64,8 +65,10 @@ main(int argc, char **argv)
     args.addString("scale", "ci", "suite scale: ci or paper");
     args.addString("in", "", "input trace file (info)");
     args.addString("out", "", "output trace file (generate)");
+    addThreadsOption(args);
     if (!args.parse(argc, argv))
         return 0;
+    applyThreadsOption(args);
 
     const std::string mode = args.getString("mode");
     try {

@@ -1,8 +1,11 @@
 #include "cluster/kmeans.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
+#include "runtime/counters.hh"
+#include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -39,18 +42,22 @@ seedCentroids(const std::vector<FeatureVector> &points, std::size_t k,
             centroids.push_back(points[perm[i]]);
         return centroids;
     }
-    // k-means++: first uniform, then D^2-weighted.
+    // k-means++: first uniform, then D^2-weighted. The D^2 scan is
+    // the O(n k) hot spot, and every d2[i] is independent, so it runs
+    // in parallel; the weight total is summed serially in index order
+    // afterwards to keep the draw deterministic.
     centroids.push_back(points[rng.index(points.size())]);
     std::vector<double> d2(points.size());
     while (centroids.size() < k) {
-        double total = 0.0;
-        for (std::size_t i = 0; i < points.size(); ++i) {
+        parallelFor(0, points.size(), 0, [&](std::size_t i) {
             d2[i] = points[i].squaredDistance(centroids[0]);
             for (std::size_t c = 1; c < centroids.size(); ++c)
                 d2[i] = std::min(d2[i],
                                  points[i].squaredDistance(centroids[c]));
+        });
+        double total = 0.0;
+        for (std::size_t i = 0; i < points.size(); ++i)
             total += d2[i];
-        }
         if (total <= 0.0) {
             // All remaining points coincide with a centroid; any pick
             // works and Lloyd will repair duplicates.
@@ -90,26 +97,62 @@ runLloyd(const std::vector<FeatureVector> &points, std::size_t k,
 
     for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
         ++run.iterations;
-        bool changed = false;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            const std::uint32_t c = nearestCentroid(points[i],
-                                                    run.centroids);
-            if (c != run.assignment[i]) {
-                run.assignment[i] = c;
-                changed = true;
-            }
-        }
+        // Assignment: each point's nearest centroid is independent of
+        // every other point's, so the O(n k) scan fans out; writes go
+        // to distinct indices and the only shared state is the
+        // monotonic "anything moved" flag.
+        std::atomic<bool> changed_flag{false};
+        parallelChunks(0, points.size(), 0,
+                       [&](std::size_t b, std::size_t e) {
+                           bool moved = false;
+                           for (std::size_t i = b; i < e; ++i) {
+                               const std::uint32_t c = nearestCentroid(
+                                   points[i], run.centroids);
+                               if (c != run.assignment[i]) {
+                                   run.assignment[i] = c;
+                                   moved = true;
+                               }
+                           }
+                           if (moved)
+                               changed_flag.store(
+                                   true, std::memory_order_relaxed);
+                       });
+        bool changed = changed_flag.load();
 
-        // Recompute centroids; repair empty clusters by stealing the
-        // point farthest from its centroid.
-        std::vector<FeatureVector> sums(k);
-        std::vector<std::size_t> counts(k, 0);
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            const std::uint32_t c = run.assignment[i];
-            for (std::size_t d = 0; d < numFeatureDims; ++d)
-                sums[c].at(d) += points[i].at(d);
-            ++counts[c];
-        }
+        // Recompute centroids: chunk-local partial sums are combined
+        // in chunk-index order (deterministic at any thread count);
+        // empty clusters are repaired serially by stealing the point
+        // farthest from its centroid.
+        struct Accum
+        {
+            std::vector<FeatureVector> sums;
+            std::vector<std::size_t> counts;
+        };
+        Accum acc = parallelReduce<Accum>(
+            0, points.size(), 0,
+            Accum{std::vector<FeatureVector>(k),
+                  std::vector<std::size_t>(k, 0)},
+            [&](std::size_t b, std::size_t e) {
+                Accum part{std::vector<FeatureVector>(k),
+                           std::vector<std::size_t>(k, 0)};
+                for (std::size_t i = b; i < e; ++i) {
+                    const std::uint32_t c = run.assignment[i];
+                    for (std::size_t d = 0; d < numFeatureDims; ++d)
+                        part.sums[c].at(d) += points[i].at(d);
+                    ++part.counts[c];
+                }
+                return part;
+            },
+            [&](Accum lhs, Accum rhs) {
+                for (std::size_t c = 0; c < k; ++c) {
+                    for (std::size_t d = 0; d < numFeatureDims; ++d)
+                        lhs.sums[c].at(d) += rhs.sums[c].at(d);
+                    lhs.counts[c] += rhs.counts[c];
+                }
+                return lhs;
+            });
+        std::vector<FeatureVector> &sums = acc.sums;
+        std::vector<std::size_t> &counts = acc.counts;
         for (std::size_t c = 0; c < k; ++c) {
             if (counts[c] == 0) {
                 double worst = -1.0;
@@ -153,6 +196,7 @@ runLloyd(const std::vector<FeatureVector> &points, std::size_t k,
 Clustering
 kmeans(const std::vector<FeatureVector> &points, const KMeansConfig &config)
 {
+    ScopedRegion region("cluster.kmeans");
     GWS_ASSERT(!points.empty(), "kmeans on an empty point set");
     GWS_ASSERT(config.restarts >= 1, "kmeans needs at least one restart");
     GWS_ASSERT(config.maxIterations >= 1, "kmeans needs iterations");

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/counters.hh"
+#include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -37,13 +39,20 @@ double
 WorkloadSubset::predictTotalNs(const Trace &parent,
                                const GpuSimulator &simulator) const
 {
+    // Each unit prices its own representative draws, so units fan out
+    // one per chunk; the weighted terms are then summed in unit order,
+    // matching the serial accumulation bit for bit.
+    const std::vector<double> terms = parallelMap<double>(
+        0, units.size(), 1, [&](std::size_t i) {
+            const SubsetUnit &u = units[i];
+            const Frame &frame = parent.frame(u.frameIndex);
+            return u.frameWeight *
+                   predictFrameNs(parent, frame, u.frameSubset,
+                                  simulator, prediction);
+        });
     double total = 0.0;
-    for (const auto &u : units) {
-        const Frame &frame = parent.frame(u.frameIndex);
-        total += u.frameWeight *
-                 predictFrameNs(parent, frame, u.frameSubset, simulator,
-                                prediction);
-    }
+    for (double t : terms)
+        total += t;
     return total;
 }
 
@@ -62,6 +71,7 @@ toString(PhaseMethod method)
 WorkloadSubset
 buildWorkloadSubset(const Trace &trace, const SubsetConfig &config)
 {
+    ScopedRegion region("core.buildWorkloadSubset");
     WorkloadSubset subset;
     subset.parentName = trace.name();
     subset.prediction = config.draws.prediction;
@@ -76,6 +86,11 @@ buildWorkloadSubset(const Trace &trace, const SubsetConfig &config)
                "framesPerPhase must be at least 1");
     GWS_ASSERT(config.occurrencesPerPhase >= 1,
                "occurrencesPerPhase must be at least 1");
+    // Pass 1 (serial, cheap): walk the timeline and decide every
+    // representative frame and its weight. Pass 2 (parallel): run the
+    // per-frame draw clustering — the expensive step — one unit per
+    // chunk. Assembly stays in pass-1 order, so the subset is
+    // identical to a serial build.
     const auto occurrence = subset.timeline.occurrenceCounts();
     subset.unitsOfPhase.resize(subset.timeline.phaseCount);
     for (std::uint32_t p = 0; p < subset.timeline.phaseCount; ++p) {
@@ -130,12 +145,17 @@ buildWorkloadSubset(const Trace &trace, const SubsetConfig &config)
             unit.frameIndex = rep_frame;
             unit.frameWeight =
                 weight / static_cast<double>(frames.size());
-            unit.frameSubset = buildFrameSubset(
-                trace, trace.frame(rep_frame), config.draws);
             subset.unitsOfPhase[p].push_back(subset.units.size());
             subset.units.push_back(std::move(unit));
         }
     }
+
+    // Pass 2: cluster every representative frame's draws in parallel.
+    parallelFor(0, subset.units.size(), 1, [&](std::size_t i) {
+        SubsetUnit &unit = subset.units[i];
+        unit.frameSubset = buildFrameSubset(
+            trace, trace.frame(unit.frameIndex), config.draws);
+    });
 
     GWS_ASSERT(std::llround(subset.totalFrameWeight()) ==
                    static_cast<long long>(trace.frameCount()),

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/counters.hh"
+#include "runtime/parallel_for.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -151,16 +153,28 @@ GpuSimulator::simulateDraw(const Trace &trace, const DrawCall &draw) const
 FrameCost
 GpuSimulator::simulateFrame(const Trace &trace, const Frame &frame) const
 {
+    // Draws are priced in parallel (the model is per-draw pure) into
+    // index-addressed vectors; the accumulation below then runs
+    // serially in submission order, so every sum is bit-identical to
+    // a single-threaded run regardless of thread count.
+    const auto &draws = frame.draws();
+    const std::size_t n = draws.size();
+
     FrameCost fc;
     fc.frameIndex = frame.index();
-    fc.drawNs.reserve(frame.drawCount());
+    fc.drawNs.resize(n);
+    std::vector<Stage> bottlenecks(n);
+    parallelFor(0, n, drawGrain, [&](std::size_t i) {
+        const DrawCost dc = simulateDraw(trace, draws[i]);
+        fc.drawNs[i] = dc.totalNs;
+        bottlenecks[i] = dc.bottleneck;
+    });
+
     double total = 0.0;
-    for (const auto &draw : frame.draws()) {
-        const DrawCost dc = simulateDraw(trace, draw);
-        fc.drawNs.push_back(dc.totalNs);
-        total += dc.totalNs;
-        const auto b = static_cast<std::size_t>(dc.bottleneck);
-        fc.bottleneckNs[b] += dc.totalNs;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += fc.drawNs[i];
+        const auto b = static_cast<std::size_t>(bottlenecks[i]);
+        fc.bottleneckNs[b] += fc.drawNs[i];
         ++fc.bottleneckCount[b];
     }
     fc.totalNs = total + cfg.frameOverheadUs * 1e3;
@@ -170,12 +184,19 @@ GpuSimulator::simulateFrame(const Trace &trace, const Frame &frame) const
 TraceCost
 GpuSimulator::simulateTrace(const Trace &trace) const
 {
+    // Frames are independent, so the whole trace fans out with one
+    // frame per chunk; a frame simulated on a pool worker prices its
+    // draws inline (nested loops degrade gracefully). The totals are
+    // reduced in frame order afterwards.
+    ScopedRegion region("gpusim.simulateTrace");
     TraceCost tc;
-    tc.frames.reserve(trace.frameCount());
-    for (const auto &frame : trace.frames()) {
-        tc.frames.push_back(simulateFrame(trace, frame));
-        tc.totalNs += tc.frames.back().totalNs;
-        tc.drawsSimulated += frame.drawCount();
+    tc.frames = parallelMap<FrameCost>(
+        0, trace.frameCount(), 1, [&](std::size_t i) {
+            return simulateFrame(trace, trace.frame(i));
+        });
+    for (const FrameCost &fc : tc.frames) {
+        tc.totalNs += fc.totalNs;
+        tc.drawsSimulated += fc.drawNs.size();
     }
     return tc;
 }

@@ -53,6 +53,14 @@ const char *toString(Stage stage);
 /** Number of modeled stages. */
 constexpr std::size_t numStages = static_cast<std::size_t>(Stage::NumStages);
 
+/**
+ * Draws per chunk when a frame prices its draws in parallel: one draw
+ * costs roughly a microsecond to simulate, so this keeps chunks well
+ * above the pool's per-task overhead while still splitting the
+ * multi-hundred-draw frames the synthetic games produce.
+ */
+constexpr std::size_t drawGrain = 32;
+
 /** Cost breakdown of one simulated draw call. */
 struct DrawCost
 {

@@ -1,0 +1,153 @@
+#include "runtime/counters.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace gws {
+
+namespace {
+
+std::atomic<std::uint64_t> g_parallel_regions{0};
+std::atomic<std::uint64_t> g_inline_regions{0};
+std::atomic<std::uint64_t> g_chunks{0};
+std::atomic<std::uint64_t> g_tasks{0};
+std::atomic<std::uint64_t> g_submitter_wait_ns{0};
+std::atomic<std::uint64_t> g_worker_idle_ns{0};
+
+struct RegionAccum
+{
+    std::uint64_t ns = 0;
+    std::uint64_t count = 0;
+};
+
+std::mutex g_region_mutex;
+
+std::map<std::string, RegionAccum> &
+regionMap()
+{
+    static std::map<std::string, RegionAccum> m;
+    return m;
+}
+
+} // namespace
+
+RuntimeCounters
+runtimeCounters()
+{
+    RuntimeCounters c;
+    c.parallelRegions = g_parallel_regions.load();
+    c.inlineRegions = g_inline_regions.load();
+    c.chunksExecuted = g_chunks.load();
+    c.tasksSubmitted = g_tasks.load();
+    c.submitterWaitNs = g_submitter_wait_ns.load();
+    c.workerIdleNs = g_worker_idle_ns.load();
+    return c;
+}
+
+void
+resetRuntimeCounters()
+{
+    g_parallel_regions = 0;
+    g_inline_regions = 0;
+    g_chunks = 0;
+    g_tasks = 0;
+    g_submitter_wait_ns = 0;
+    g_worker_idle_ns = 0;
+    std::lock_guard<std::mutex> lock(g_region_mutex);
+    regionMap().clear();
+}
+
+std::vector<RegionStat>
+runtimeRegionStats()
+{
+    std::vector<RegionStat> out;
+    {
+        std::lock_guard<std::mutex> lock(g_region_mutex);
+        for (const auto &[name, acc] : regionMap())
+            out.push_back(RegionStat{name, acc.ns, acc.count});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const RegionStat &a, const RegionStat &b) {
+                  return a.ns > b.ns;
+              });
+    return out;
+}
+
+ScopedRegion::ScopedRegion(const char *name)
+    : regionName(name), startNs(runtime_detail::nowNs())
+{
+}
+
+ScopedRegion::~ScopedRegion()
+{
+    const std::uint64_t elapsed = runtime_detail::nowNs() - startNs;
+    std::lock_guard<std::mutex> lock(g_region_mutex);
+    RegionAccum &acc = regionMap()[regionName];
+    acc.ns += elapsed;
+    ++acc.count;
+}
+
+std::string
+runtimeCountersReport()
+{
+    const RuntimeCounters c = runtimeCounters();
+    std::ostringstream oss;
+    oss << "runtime: " << c.parallelRegions << " parallel + "
+        << c.inlineRegions << " inline regions, " << c.chunksExecuted
+        << " chunks, " << c.tasksSubmitted << " pool tasks\n";
+    oss << "runtime: submitter wait "
+        << static_cast<double>(c.submitterWaitNs) * 1e-6
+        << " ms, worker idle "
+        << static_cast<double>(c.workerIdleNs) * 1e-6 << " ms\n";
+    for (const RegionStat &r : runtimeRegionStats())
+        oss << "runtime: region " << r.name << ": "
+            << static_cast<double>(r.ns) * 1e-6 << " ms over " << r.count
+            << (r.count == 1 ? " entry\n" : " entries\n");
+    return oss.str();
+}
+
+namespace runtime_detail {
+
+void
+noteParallelRegion(std::size_t chunks, std::size_t tasks)
+{
+    g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
+    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
+    g_tasks.fetch_add(tasks, std::memory_order_relaxed);
+}
+
+void
+noteInlineRegion(std::size_t chunks)
+{
+    g_inline_regions.fetch_add(1, std::memory_order_relaxed);
+    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
+}
+
+void
+noteSubmitterWait(std::uint64_t ns)
+{
+    g_submitter_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+noteWorkerIdle(std::uint64_t ns)
+{
+    g_worker_idle_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace runtime_detail
+
+} // namespace gws

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Lightweight observability for the parallel runtime: global counters
+ * (regions run, chunks executed, tasks submitted, time the submitter
+ * spent waiting for stragglers, time workers spent idle) and named
+ * per-region wall-time accumulators. Benches print the report after a
+ * run (`--runtime-stats`); tests use the counters to assert that a
+ * code path actually went parallel (or did not).
+ *
+ * Counters are process-global and monotone; resetRuntimeCounters()
+ * zeroes them between bench phases. All updates are atomic / mutex
+ * protected and cheap enough to stay enabled in release builds — one
+ * update per *chunk*, never per element.
+ */
+
+#ifndef GWS_RUNTIME_COUNTERS_HH
+#define GWS_RUNTIME_COUNTERS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gws {
+
+/** Snapshot of the global runtime counters. */
+struct RuntimeCounters
+{
+    /** Parallel loops that fanned out to the pool. */
+    std::uint64_t parallelRegions = 0;
+
+    /** Parallel loops that ran inline (threads=1, tiny range, nested). */
+    std::uint64_t inlineRegions = 0;
+
+    /** Chunks executed across all loops (inline and pooled). */
+    std::uint64_t chunksExecuted = 0;
+
+    /** Helper tasks submitted to the pool. */
+    std::uint64_t tasksSubmitted = 0;
+
+    /** ns the submitting thread spent waiting on in-flight chunks. */
+    std::uint64_t submitterWaitNs = 0;
+
+    /** ns pool workers spent blocked on the queue (idle/steal wait). */
+    std::uint64_t workerIdleNs = 0;
+};
+
+/** Current counter values. */
+RuntimeCounters runtimeCounters();
+
+/** Zero the counters and the per-region accumulators. */
+void resetRuntimeCounters();
+
+/** Wall time accumulated under one named region. */
+struct RegionStat
+{
+    /** Region name as passed to ScopedRegion. */
+    std::string name;
+
+    /** Total wall nanoseconds across entries. */
+    std::uint64_t ns = 0;
+
+    /** Times the region was entered. */
+    std::uint64_t count = 0;
+};
+
+/** All named regions seen so far, sorted by descending total time. */
+std::vector<RegionStat> runtimeRegionStats();
+
+/**
+ * RAII wall-clock timer for a named region. Name must be a string
+ * literal (the registry stores the pointer's contents once).
+ */
+class ScopedRegion
+{
+  public:
+    /** Start timing `name`. */
+    explicit ScopedRegion(const char *name);
+
+    /** Stop and accumulate. */
+    ~ScopedRegion();
+
+    ScopedRegion(const ScopedRegion &) = delete;
+    ScopedRegion &operator=(const ScopedRegion &) = delete;
+
+  private:
+    const char *regionName;
+    std::uint64_t startNs;
+};
+
+/** Human-readable multi-line report of counters + regions. */
+std::string runtimeCountersReport();
+
+namespace runtime_detail {
+
+/** Record a loop that fanned out (`tasks` helpers over `chunks`). */
+void noteParallelRegion(std::size_t chunks, std::size_t tasks);
+
+/** Record a loop that ran inline with `chunks` chunks. */
+void noteInlineRegion(std::size_t chunks);
+
+/** Record ns the submitter spent blocked waiting for completion. */
+void noteSubmitterWait(std::uint64_t ns);
+
+/** Record ns a worker spent blocked on the empty queue. */
+void noteWorkerIdle(std::uint64_t ns);
+
+/** Monotonic now() in ns (steady clock). */
+std::uint64_t nowNs();
+
+} // namespace runtime_detail
+
+} // namespace gws
+
+#endif // GWS_RUNTIME_COUNTERS_HH

@@ -1,0 +1,135 @@
+#include "runtime/parallel_for.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+
+#include "runtime/counters.hh"
+#include "runtime/thread_pool.hh"
+
+namespace gws {
+
+namespace {
+
+/**
+ * State of one fan-out, heap-allocated because helper tasks can be
+ * dequeued *after* the submitting call has returned (the submitter
+ * only waits for all chunks to complete, not for every helper task to
+ * start); late helpers find no chunk left and drop their reference.
+ */
+struct FanOut
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    std::function<void(std::size_t, std::size_t)> body;
+
+    /** Next chunk to claim. */
+    std::atomic<std::size_t> next{0};
+
+    std::mutex mutex;
+    std::condition_variable allDone;
+
+    /** Chunks finished (under mutex). */
+    std::size_t completed = 0;
+
+    /** Per-chunk exception, rethrown lowest-index-first. */
+    std::vector<std::exception_ptr> errors;
+
+    /** Claim and run chunks until none are left. */
+    void
+    drain()
+    {
+        for (;;) {
+            const std::size_t c =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            const std::size_t b = begin + c * grain;
+            const std::size_t e = std::min(end, b + grain);
+            try {
+                body(b, e);
+            } catch (...) {
+                errors[c] = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            if (++completed == chunks)
+                allDone.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+std::size_t
+chunkCountFor(std::size_t n, std::size_t grain)
+{
+    if (n == 0)
+        return 0;
+    const std::size_t g = resolvedGrain(grain);
+    return (n + g - 1) / g;
+}
+
+void
+parallelChunks(std::size_t begin, std::size_t end, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)> &body)
+{
+    if (end <= begin)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t g = resolvedGrain(grain);
+    const std::size_t chunks = (n + g - 1) / g;
+    const std::size_t threads = resolvedThreadCount();
+
+    if (threads <= 1 || chunks <= 1 || ThreadPool::onWorkerThread()) {
+        // Inline path: same chunk structure, same execution order as
+        // the chunk-index-ordered parallel reduction, so results are
+        // identical to the fanned-out path by construction.
+        runtime_detail::noteInlineRegion(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t b = begin + c * g;
+            body(b, std::min(end, b + g));
+        }
+        return;
+    }
+
+    auto fan = std::make_shared<FanOut>();
+    fan->begin = begin;
+    fan->end = end;
+    fan->grain = g;
+    fan->chunks = chunks;
+    fan->body = body;
+    fan->errors.resize(chunks);
+
+    // One helper per extra thread that can hold a chunk; the caller
+    // is the remaining worker.
+    const std::size_t helpers = std::min(threads, chunks) - 1;
+    runtime_detail::noteParallelRegion(chunks, helpers);
+    ThreadPool &pool = globalThreadPool();
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool.submit([fan] { fan->drain(); });
+
+    fan->drain();
+
+    {
+        std::unique_lock<std::mutex> lock(fan->mutex);
+        if (fan->completed != fan->chunks) {
+            const std::uint64_t t0 = runtime_detail::nowNs();
+            fan->allDone.wait(lock, [&fan] {
+                return fan->completed == fan->chunks;
+            });
+            runtime_detail::noteSubmitterWait(runtime_detail::nowNs() -
+                                              t0);
+        }
+    }
+
+    for (std::size_t c = 0; c < chunks; ++c)
+        if (fan->errors[c])
+            std::rethrow_exception(fan->errors[c]);
+}
+
+} // namespace gws

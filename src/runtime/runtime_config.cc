@@ -1,0 +1,100 @@
+#include "runtime/runtime_config.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "runtime/thread_pool.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+std::mutex config_mutex;
+RuntimeConfig current_config;
+bool env_loaded = false;
+
+/** Parse a non-negative size_t from an env var; fatal() on garbage. */
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw, &end, 10);
+    if (end == raw || *end != '\0')
+        GWS_FATAL(name, " must be a non-negative integer, got '", raw,
+                  "'");
+    return static_cast<std::size_t>(v);
+}
+
+/** Load GWS_THREADS / GWS_GRAIN once, under config_mutex. */
+void
+loadEnvLocked()
+{
+    if (env_loaded)
+        return;
+    env_loaded = true;
+    current_config.threads = envSize("GWS_THREADS",
+                                     current_config.threads);
+    current_config.grainSize = envSize("GWS_GRAIN",
+                                       current_config.grainSize);
+    if (current_config.grainSize == 0)
+        current_config.grainSize = RuntimeConfig{}.grainSize;
+}
+
+} // namespace
+
+RuntimeConfig
+runtimeConfig()
+{
+    std::lock_guard<std::mutex> lock(config_mutex);
+    loadEnvLocked();
+    return current_config;
+}
+
+void
+setRuntimeConfig(const RuntimeConfig &config)
+{
+    std::size_t old_threads;
+    {
+        std::lock_guard<std::mutex> lock(config_mutex);
+        loadEnvLocked();
+        old_threads = current_config.threads;
+        current_config = config;
+        if (current_config.grainSize == 0)
+            current_config.grainSize = RuntimeConfig{}.grainSize;
+    }
+    // Resize lazily: drop the running pool so the next parallel loop
+    // restarts it at the new width.
+    if (config.threads != old_threads)
+        shutdownGlobalThreadPool();
+}
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t
+resolvedThreadCount()
+{
+    const std::size_t t = runtimeConfig().threads;
+    return t == 0 ? hardwareThreads() : t;
+}
+
+std::size_t
+resolvedGrain(std::size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const std::size_t g = runtimeConfig().grainSize;
+    return g == 0 ? 1 : g;
+}
+
+} // namespace gws

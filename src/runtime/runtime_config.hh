@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Global configuration of the parallel execution runtime.
+ *
+ * The runtime is configured once per process — from the command line
+ * (`--threads`), from the `GWS_THREADS` / `GWS_GRAIN` environment
+ * variables, or programmatically via setRuntimeConfig() — and every
+ * parallel loop in the library reads it. Two knobs exist:
+ *
+ *  - threads:   worker count; 0 means std::thread::hardware_concurrency.
+ *  - grainSize: default chunk length (indices per task) used when a
+ *               parallel loop does not request an explicit grain.
+ *
+ * Determinism contract: at a fixed grainSize, every parallel loop in
+ * this library produces bit-identical results at *any* thread count,
+ * because chunk boundaries depend only on the range and the grain, and
+ * reductions combine chunk partials in chunk-index order. Changing the
+ * grainSize may change the floating-point rounding shape of chunked
+ * reductions (never their meaning); thread count never does.
+ */
+
+#ifndef GWS_RUNTIME_RUNTIME_CONFIG_HH
+#define GWS_RUNTIME_RUNTIME_CONFIG_HH
+
+#include <cstddef>
+
+namespace gws {
+
+/** Process-wide runtime parameters. */
+struct RuntimeConfig
+{
+    /** Worker threads; 0 selects hardware_concurrency. */
+    std::size_t threads = 0;
+
+    /** Default indices per chunk when a loop passes grain = 0. */
+    std::size_t grainSize = 256;
+};
+
+/**
+ * The current runtime configuration. On first access the defaults are
+ * overridden from the environment: GWS_THREADS (thread count, 0 =
+ * hardware concurrency) and GWS_GRAIN (default grain size).
+ */
+RuntimeConfig runtimeConfig();
+
+/**
+ * Replace the runtime configuration. Safe to call at any time from the
+ * main thread; if the global thread pool is already running with a
+ * different worker count it is shut down and lazily restarted at the
+ * new size on the next parallel loop.
+ */
+void setRuntimeConfig(const RuntimeConfig &config);
+
+/** The machine's hardware concurrency (never less than 1). */
+std::size_t hardwareThreads();
+
+/** Thread count after resolving 0 -> hardwareThreads(). */
+std::size_t resolvedThreadCount();
+
+/** Grain after resolving 0 -> runtimeConfig().grainSize (>= 1). */
+std::size_t resolvedGrain(std::size_t requested);
+
+} // namespace gws
+
+#endif // GWS_RUNTIME_RUNTIME_CONFIG_HH

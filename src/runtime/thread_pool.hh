@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A lazily-started worker pool with a condition-variable work queue.
+ *
+ * Threads are not spawned at construction but on the first submit(),
+ * so binaries that never hit a parallel loop (or run with threads = 1)
+ * pay nothing. shutdown() drains the queue, joins the workers, and
+ * leaves the pool restartable: the next submit() spawns a fresh crew.
+ *
+ * Tasks are plain std::function<void()>; exception handling is the
+ * submitter's business (parallelFor wraps every chunk and rethrows the
+ * lowest-index exception in the calling thread). Workers mark
+ * themselves with a thread-local flag so parallel loops can detect
+ * reentrant submission and degrade to inline execution instead of
+ * deadlocking on a full queue.
+ */
+
+#ifndef GWS_RUNTIME_THREAD_POOL_HH
+#define GWS_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gws {
+
+/** Fixed-width worker pool; see the file comment for the lifecycle. */
+class ThreadPool
+{
+  public:
+    /** Create a pool of `workers` threads (>= 1), not yet started. */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Joins the workers (runs any queued tasks first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task; spawns the workers on first use. Panics if
+     * called from inside one of this process's pool workers — nested
+     * parallelism must run inline (parallelFor does this for you).
+     */
+    void submit(std::function<void()> task);
+
+    /** Configured worker count. */
+    std::size_t workerCount() const { return targetWorkers; }
+
+    /** True once submit() has spawned the workers. */
+    bool started() const;
+
+    /**
+     * Drain the queue, join all workers, and reset to the
+     * constructed (restartable) state.
+     */
+    void shutdown();
+
+    /** True when the calling thread is a pool worker (any pool). */
+    static bool onWorkerThread();
+
+  private:
+    /** Worker loop: pop tasks until told to stop. */
+    void workerMain();
+
+    /** Spawn the workers if not yet running (queue mutex held). */
+    void startLocked();
+
+    const std::size_t targetWorkers;
+
+    mutable std::mutex mutex;
+    std::condition_variable available;
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    bool stopping = false;
+};
+
+/**
+ * The process-wide pool used by parallelFor and friends, sized to
+ * resolvedThreadCount(). Created (not started) on first use.
+ */
+ThreadPool &globalThreadPool();
+
+/**
+ * Tear down the global pool (if any); the next parallel loop creates
+ * a fresh one at the then-current configuration. Called automatically
+ * by setRuntimeConfig() when the thread count changes.
+ */
+void shutdownGlobalThreadPool();
+
+} // namespace gws
+
+#endif // GWS_RUNTIME_THREAD_POOL_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Thread-count determinism regression tests — the ordered-reduction
+ * contract of src/runtime applied end to end. Every pipeline layer
+ * (trace simulation, k-means, the workload-subset pipeline) must
+ * produce bit-identical floating-point results at threads = 1 and
+ * threads = 8; any drift means a reduction started depending on
+ * completion order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/kmeans.hh"
+#include "core/subset_pipeline.hh"
+#include "features/extractor.hh"
+#include "gpusim/gpu_simulator.hh"
+#include "runtime/runtime.hh"
+#include "synth/generator.hh"
+
+namespace gws {
+namespace {
+
+/** One CI-scale playthrough shared by every test in this suite. */
+const Trace &
+testTrace()
+{
+    static const Trace t =
+        GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+            .generate();
+    return t;
+}
+
+class DeterminismTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved = runtimeConfig(); }
+
+    void TearDown() override
+    {
+        setRuntimeConfig(saved);
+        shutdownGlobalThreadPool();
+    }
+
+    /** Run fn() under an explicit thread count, grain untouched. */
+    template <typename Fn>
+    auto
+    at(std::size_t threads, Fn &&fn)
+    {
+        RuntimeConfig cfg = saved;
+        cfg.threads = threads;
+        setRuntimeConfig(cfg);
+        return fn();
+    }
+
+    RuntimeConfig saved;
+};
+
+TEST_F(DeterminismTest, SimulateTraceIsBitIdenticalAcrossThreadCounts)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    const TraceCost a = at(1, [&] { return sim.simulateTrace(trace); });
+    const TraceCost b = at(8, [&] { return sim.simulateTrace(trace); });
+
+    EXPECT_EQ(a.totalNs, b.totalNs);
+    EXPECT_EQ(a.drawsSimulated, b.drawsSimulated);
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    for (std::size_t f = 0; f < a.frames.size(); ++f) {
+        const FrameCost &fa = a.frames[f];
+        const FrameCost &fb = b.frames[f];
+        ASSERT_EQ(fa.totalNs, fb.totalNs) << "frame " << f;
+        ASSERT_EQ(fa.drawNs, fb.drawNs) << "frame " << f;
+        ASSERT_EQ(fa.bottleneckNs, fb.bottleneckNs) << "frame " << f;
+        ASSERT_EQ(fa.bottleneckCount, fb.bottleneckCount)
+            << "frame " << f;
+    }
+}
+
+TEST_F(DeterminismTest, KMeansIsBitIdenticalAcrossThreadCounts)
+{
+    // Enough points that the default grain splits the scans into
+    // several chunks, so the parallel path is actually exercised.
+    const Trace &trace = testTrace();
+    const FeatureExtractor extractor(trace);
+    std::vector<FeatureVector> points;
+    for (std::size_t f = 0; f < 8 && f < trace.frameCount(); ++f)
+        for (const FeatureVector &v :
+             extractor.extractFrame(trace.frame(f)))
+            points.push_back(v);
+    ASSERT_GT(points.size(), 512u);
+
+    KMeansConfig cfg;
+    cfg.k = 12;
+    cfg.restarts = 2;
+
+    const Clustering a = at(1, [&] { return kmeans(points, cfg); });
+    const Clustering b = at(8, [&] { return kmeans(points, cfg); });
+
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_EQ(a.representatives, b.representatives);
+    ASSERT_EQ(a.centroids.size(), b.centroids.size());
+    for (std::size_t c = 0; c < a.centroids.size(); ++c)
+        ASSERT_EQ(a.centroids[c], b.centroids[c]) << "centroid " << c;
+}
+
+TEST_F(DeterminismTest, SubsetPipelineIsBitIdenticalAcrossThreadCounts)
+{
+    const Trace &trace = testTrace();
+    const SubsetConfig cfg;
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    const WorkloadSubset a =
+        at(1, [&] { return buildWorkloadSubset(trace, cfg); });
+    const WorkloadSubset b =
+        at(8, [&] { return buildWorkloadSubset(trace, cfg); });
+
+    EXPECT_EQ(a.subsetDraws(), b.subsetDraws());
+    ASSERT_EQ(a.units.size(), b.units.size());
+    for (std::size_t u = 0; u < a.units.size(); ++u) {
+        const SubsetUnit &ua = a.units[u];
+        const SubsetUnit &ub = b.units[u];
+        ASSERT_EQ(ua.phaseId, ub.phaseId) << "unit " << u;
+        ASSERT_EQ(ua.frameIndex, ub.frameIndex) << "unit " << u;
+        ASSERT_EQ(ua.frameWeight, ub.frameWeight) << "unit " << u;
+        ASSERT_EQ(ua.frameSubset.clustering.assignment,
+                  ub.frameSubset.clustering.assignment)
+            << "unit " << u;
+        ASSERT_EQ(ua.frameSubset.clustering.representatives,
+                  ub.frameSubset.clustering.representatives)
+            << "unit " << u;
+        ASSERT_EQ(ua.frameSubset.workUnits, ub.frameSubset.workUnits)
+            << "unit " << u;
+    }
+
+    // Predicted and fully-simulated costs must agree bit for bit too.
+    const SubsetEvaluation ea =
+        at(1, [&] { return evaluateSubset(trace, a, sim); });
+    const SubsetEvaluation eb =
+        at(8, [&] { return evaluateSubset(trace, b, sim); });
+    EXPECT_EQ(ea.parentNs, eb.parentNs);
+    EXPECT_EQ(ea.predictedNs, eb.predictedNs);
+    EXPECT_EQ(ea.relError(), eb.relError());
+}
+
+} // namespace
+} // namespace gws
