@@ -1,112 +1,221 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the clustering hot paths:
- * feature extraction, normalization, leader clustering, and k-means,
- * across realistic per-frame draw counts.
+ * Before/after microbenchmark of the accelerated clustering core.
+ *
+ * Runs the naive and the bounded/pruned k-means paths in-process on
+ * the same points (KMeansPath::Naive vs KMeansPath::Fast), checks the
+ * outputs are bit-identical, and reports the single-thread speedup —
+ * the acceptance number for the SoA + Hamerly work. Leader clustering
+ * and k-means++ seeding are timed alongside, with the bound-skip and
+ * norm-reject fractions from the runtime counters. Results land in
+ * BENCH_micro_cluster.json so the trajectory is tracked run over run.
  */
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
 
-#include <map>
-
+#include "bench/bench_common.hh"
 #include "cluster/kmeans.hh"
 #include "cluster/leader.hh"
-#include "core/draw_subset.hh"
-#include "features/extractor.hh"
-#include "synth/generator.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
 
 namespace {
 
 using namespace gws;
 
-/** A single-frame trace with roughly `draws` draw calls. */
-const Trace &
-frameTrace(std::int64_t draws)
-{
-    static std::map<std::int64_t, Trace> cache;
-    auto it = cache.find(draws);
-    if (it == cache.end()) {
-        GameProfile p = builtinProfile("shock2", SuiteScale::Ci);
-        p.segments = 1;
-        p.segmentFramesMin = p.segmentFramesMax = 1;
-        p.drawsPerFrame = static_cast<double>(draws);
-        p.materialsPerLevel =
-            std::max<std::uint32_t>(8, static_cast<std::uint32_t>(
-                                           draws / 3));
-        it = cache.emplace(draws, GameGenerator(p).generate()).first;
-    }
-    return it->second;
-}
-
+/** n synthetic normalized feature points (mixture of 24 blobs). */
 std::vector<FeatureVector>
-framePoints(const Trace &t)
+syntheticPoints(std::size_t n, std::uint64_t seed)
 {
-    const FeatureExtractor ex(t);
-    const auto raw = ex.extractFrame(t.frame(0));
-    return Normalizer::fit(raw).applyAll(raw);
+    Rng rng(seed);
+    constexpr std::size_t blobs = 24;
+    std::vector<FeatureVector> centers(blobs);
+    for (auto &c : centers)
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            c.at(d) = rng.uniform(-2.0, 2.0);
+
+    std::vector<FeatureVector> points(n);
+    for (auto &p : points) {
+        const FeatureVector &c =
+            centers[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(blobs) - 1))];
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            p.at(d) = c.at(d) + rng.uniform(-0.35, 0.35);
+    }
+    return points;
 }
 
-void
-BM_FeatureExtraction(benchmark::State &state)
+double
+wallMs(const std::function<void()> &fn)
 {
-    const Trace &t = frameTrace(state.range(0));
-    const FeatureExtractor ex(t);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(ex.extractFrame(t.frame(0)));
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(t.frame(0).drawCount()));
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t1 - t0)
+                   .count()) *
+           1e-6;
 }
-BENCHMARK(BM_FeatureExtraction)->Arg(120)->Arg(1200);
 
-void
-BM_NormalizerFit(benchmark::State &state)
+/** Exact equality of two clusterings (the A/B contract). */
+bool
+identical(const Clustering &a, const Clustering &b)
 {
-    const Trace &t = frameTrace(state.range(0));
-    const FeatureExtractor ex(t);
-    const auto raw = ex.extractFrame(t.frame(0));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(Normalizer::fit(raw));
+    if (a.k != b.k || a.assignment != b.assignment ||
+        a.representatives != b.representatives ||
+        a.centroids.size() != b.centroids.size())
+        return false;
+    for (std::size_t c = 0; c < a.centroids.size(); ++c)
+        if (!(a.centroids[c] == b.centroids[c]))
+            return false;
+    return true;
 }
-BENCHMARK(BM_NormalizerFit)->Arg(1200);
-
-void
-BM_LeaderClustering(benchmark::State &state)
-{
-    const Trace &t = frameTrace(state.range(0));
-    const auto points = framePoints(t);
-    LeaderConfig cfg;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(leaderCluster(points, cfg));
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(points.size()));
-}
-BENCHMARK(BM_LeaderClustering)->Arg(120)->Arg(1200);
-
-void
-BM_KMeans(benchmark::State &state)
-{
-    const Trace &t = frameTrace(120);
-    const auto points = framePoints(t);
-    KMeansConfig cfg;
-    cfg.k = static_cast<std::size_t>(state.range(0));
-    cfg.restarts = 1;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(kmeans(points, cfg));
-}
-BENCHMARK(BM_KMeans)->Arg(8)->Arg(32);
-
-void
-BM_BuildFrameSubset(benchmark::State &state)
-{
-    const Trace &t = frameTrace(state.range(0));
-    const DrawSubsetConfig cfg;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(buildFrameSubset(t, t.frame(0), cfg));
-}
-BENCHMARK(BM_BuildFrameSubset)->Arg(120)->Arg(1200);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_micro_cluster",
+                   "naive vs accelerated clustering A/B microbenchmark");
+    addThreadsOption(args);
+    args.addInt("n", 100000, "number of synthetic feature points");
+    args.addInt("k", 64, "k-means cluster count");
+    args.addInt("repeats", 3, "timed repetitions per variant");
+    args.addString("out", "BENCH_micro_cluster.json",
+                   "JSON output path (empty = skip)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    // The headline A/B runs at one thread so the speedup isolates the
+    // algorithmic work (bounds, SoA kernel, pruned seeding) from the
+    // parallel runtime; --threads only affects the leader section.
+    applyThreadsOption(args);
+    const std::size_t n =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, args.getInt("n")));
+    const std::size_t k = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("k")));
+    const std::size_t repeats =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, args.getInt("repeats")));
+
+    std::printf("=== MC — accelerated clustering core A/B "
+                "(n=%zu, k=%zu) ===\n",
+                n, k);
+    const std::vector<FeatureVector> points = syntheticPoints(n, 2024);
+
+    KMeansConfig cfg;
+    cfg.k = k;
+    cfg.restarts = 1;
+    cfg.maxIterations = 25;
+
+    const RuntimeConfig base = runtimeConfig();
+    RuntimeConfig single = base;
+    single.threads = 1;
+    setRuntimeConfig(single);
+
+    // Warm-up + reference results (also the bit-identity check).
+    KMeansConfig naive_cfg = cfg;
+    naive_cfg.path = KMeansPath::Naive;
+    KMeansConfig fast_cfg = cfg;
+    fast_cfg.path = KMeansPath::Fast;
+    const Clustering naive_out = kmeans(points, naive_cfg);
+    const Clustering fast_out = kmeans(points, fast_cfg);
+    const bool bit_identical = identical(naive_out, fast_out);
+    if (!bit_identical)
+        GWS_WARN("naive and fast k-means outputs differ");
+
+    double naive_ms = 0.0;
+    double fast_ms = 0.0;
+    resetRuntimeCounters();
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double nm =
+            wallMs([&] { kmeans(points, naive_cfg); });
+        naive_ms = r == 0 ? nm : std::min(naive_ms, nm);
+        const double fm = wallMs([&] { kmeans(points, fast_cfg); });
+        fast_ms = r == 0 ? fm : std::min(fast_ms, fm);
+    }
+    const double kmeans_speedup = naive_ms / fast_ms;
+    const double bounds_skip_rate =
+        runtimeCounters().kmeansBoundsSkipRate();
+
+    // Leader clustering at the paper's operating radius; single run
+    // (it is one pass), restored thread config applies.
+    setRuntimeConfig(base);
+    applyThreadsOption(args);
+    resetRuntimeCounters();
+    LeaderConfig leader_cfg;
+    double leader_ms = 0.0;
+    std::size_t leader_k = 0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        Clustering lc;
+        const double ms =
+            wallMs([&] { lc = leaderCluster(points, leader_cfg); });
+        leader_ms = r == 0 ? ms : std::min(leader_ms, ms);
+        leader_k = lc.k;
+    }
+    const RuntimeCounters lcnt = runtimeCounters();
+    const double norm_reject_rate =
+        lcnt.leaderNormRejects + lcnt.leaderDistances > 0
+            ? static_cast<double>(lcnt.leaderNormRejects) /
+                  static_cast<double>(lcnt.leaderNormRejects +
+                                      lcnt.leaderDistances)
+            : 0.0;
+
+    Table table({"variant", "wall ms", "speedup"});
+    table.newRow();
+    table.cell("kmeans naive (1 thread)");
+    table.cell(naive_ms, 1);
+    table.cell(1.0, 2);
+    table.newRow();
+    table.cell("kmeans fast (1 thread)");
+    table.cell(fast_ms, 1);
+    table.cell(kmeans_speedup, 2);
+    table.newRow();
+    table.cell("leader");
+    table.cell(leader_ms, 1);
+    table.cell("");
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    std::printf("\nbit-identical naive vs fast: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+    std::printf("kmeans bound-skip rate: %.1f%%\n",
+                bounds_skip_rate * 100.0);
+    std::printf("leader norm-reject rate: %.1f%% (k=%zu)\n",
+                norm_reject_rate * 100.0, leader_k);
+
+    const std::string out = args.getString("out");
+    if (!out.empty()) {
+        FILE *fp = std::fopen(out.c_str(), "w");
+        if (fp == nullptr)
+            GWS_FATAL("cannot write ", out);
+        std::fprintf(
+            fp,
+            "{\n  \"bench\": \"micro_cluster\",\n"
+            "  \"n\": %zu,\n  \"k\": %zu,\n"
+            "  \"kmeans_naive_ms\": %.3f,\n"
+            "  \"kmeans_fast_ms\": %.3f,\n"
+            "  \"kmeans_speedup\": %.3f,\n"
+            "  \"kmeans_bit_identical\": %s,\n"
+            "  \"kmeans_bounds_skip_rate\": %.4f,\n"
+            "  \"leader_ms\": %.3f,\n"
+            "  \"leader_norm_reject_rate\": %.4f,\n"
+            "  \"leader_k\": %zu\n}\n",
+            n, k, naive_ms, fast_ms, kmeans_speedup,
+            bit_identical ? "true" : "false", bounds_skip_rate,
+            leader_ms, norm_reject_rate, leader_k);
+        std::fclose(fp);
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    reportRuntime(args);
+    return bit_identical ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <limits>
 #include <queue>
 
+#include "cluster/feature_matrix.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -51,14 +52,20 @@ agglomerativeCluster(const std::vector<FeatureVector> &points,
     for (std::size_t i = 0; i < n; ++i)
         parent[i] = i;
 
+    // Seed the queue with all pairs. The SoA batch kernel computes
+    // each row's distances contiguously (bit-identical to the scalar
+    // pairwise path), leaving only the pushes at O(n^2 log n).
     std::priority_queue<Candidate, std::vector<Candidate>,
                         std::greater<Candidate>>
         queue;
+    const FeatureMatrix matrix(points);
+    std::vector<double> dist(n);
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-            queue.push({centroids[i].squaredDistance(centroids[j]), i, j,
-                        0, 0});
-        }
+        if (i + 1 < n)
+            matrix.squaredDistanceBatch(i + 1, n, points[i],
+                                        dist.data() + i + 1);
+        for (std::size_t j = i + 1; j < n; ++j)
+            queue.push({dist[j], i, j, 0, 0});
     }
 
     std::size_t clusters = n;

@@ -1,0 +1,102 @@
+#include "cluster/feature_matrix.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+/** Round n up to a multiple of the doubles that fit one alignment unit. */
+std::size_t
+paddedStride(std::size_t n)
+{
+    constexpr std::size_t per =
+        FeatureMatrix::columnAlignment / sizeof(double);
+    return (n + per - 1) / per * per;
+}
+
+} // namespace
+
+FeatureMatrix::FeatureMatrix(const std::vector<FeatureVector> &points)
+    : count(points.size()), stride(paddedStride(points.size()))
+{
+    if (count == 0)
+        return;
+    storage.reset(static_cast<double *>(::operator new[](
+        numFeatureDims * stride * sizeof(double),
+        std::align_val_t(columnAlignment))));
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        double *col = storage.get() + d * stride;
+        for (std::size_t i = 0; i < count; ++i)
+            col[i] = points[i].at(d);
+        for (std::size_t i = count; i < stride; ++i)
+            col[i] = 0.0; // padding lanes stay finite
+    }
+    norms2.resize(count);
+    normsEuclid.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        double sum = 0.0;
+        for (std::size_t d = 0; d < numFeatureDims; ++d) {
+            const double v = points[i].at(d);
+            sum += v * v;
+        }
+        norms2[i] = sum;
+        normsEuclid[i] = std::sqrt(sum);
+    }
+}
+
+FeatureVector
+FeatureMatrix::point(std::size_t i) const
+{
+    GWS_ASSERT(i < count, "point index ", i, " out of range ", count);
+    FeatureVector v;
+    for (std::size_t d = 0; d < numFeatureDims; ++d)
+        v.at(d) = column(d)[i];
+    return v;
+}
+
+double
+FeatureMatrix::squaredDistanceTo(std::size_t i,
+                                 const FeatureVector &q) const
+{
+    double sum = 0.0;
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        const double diff = column(d)[i] - q.at(d);
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+void
+FeatureMatrix::squaredDistanceBatch(std::size_t begin, std::size_t end,
+                                    const FeatureVector &q,
+                                    double *out) const
+{
+    GWS_ASSERT(begin <= end && end <= count, "bad batch range [", begin,
+               ", ", end, ") over ", count);
+    constexpr std::size_t block = 256;
+    for (std::size_t base = begin; base < end; base += block) {
+        const std::size_t len = std::min(block, end - base);
+        double *acc = out + (base - begin);
+        {
+            const double qd = q.at(0);
+            const double *col = column(0) + base;
+            for (std::size_t j = 0; j < len; ++j) {
+                const double diff = col[j] - qd;
+                acc[j] = diff * diff;
+            }
+        }
+        for (std::size_t d = 1; d < numFeatureDims; ++d) {
+            const double qd = q.at(d);
+            const double *col = column(d) + base;
+            for (std::size_t j = 0; j < len; ++j) {
+                const double diff = col[j] - qd;
+                acc[j] += diff * diff;
+            }
+        }
+    }
+}
+
+} // namespace gws

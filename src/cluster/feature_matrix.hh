@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structure-of-arrays feature matrix: the shared distance substrate of
+ * every clustering algorithm.
+ *
+ * Points arrive as AoS FeatureVector (one std::array<double,15> per
+ * draw); the hot loops of k-means, leader, and agglomerative
+ * clustering are all "distance from many points to one query", which
+ * an AoS layout serves one cache line per point per dimension. The
+ * FeatureMatrix transposes the set once into 64-byte-aligned columns
+ * (column d holds dimension d of every point) so the batch kernel can
+ * stream each column contiguously, and caches each point's squared
+ * norm for triangle-inequality rejects.
+ *
+ * Bit-identity contract: squaredDistanceBatch() accumulates the
+ * per-dimension terms of each point in ascending dimension order —
+ * exactly the order FeatureVector::squaredDistance uses — so every
+ * distance it produces is bit-identical to the scalar AoS path. The
+ * kernel is written as plain loops with the point index innermost;
+ * each point owns its own accumulation chain, so the compiler is free
+ * to vectorize across points without reassociating any sum.
+ */
+
+#ifndef GWS_CLUSTER_FEATURE_MATRIX_HH
+#define GWS_CLUSTER_FEATURE_MATRIX_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "features/feature_vector.hh"
+
+namespace gws {
+
+/** SoA view of a fixed point set with cached squared norms. */
+class FeatureMatrix
+{
+  public:
+    /** Alignment of every column start, in bytes. */
+    static constexpr std::size_t columnAlignment = 64;
+
+    /** Empty matrix. */
+    FeatureMatrix() = default;
+
+    /** Transpose a point set into columns (one pass, O(n d)). */
+    explicit FeatureMatrix(const std::vector<FeatureVector> &points);
+
+    /** Number of points. */
+    std::size_t size() const { return count; }
+
+    /** True when the matrix holds no points. */
+    bool empty() const { return count == 0; }
+
+    /** Column of dimension d (aligned, length size()). */
+    const double *column(std::size_t d) const
+    {
+        return storage.get() + d * stride;
+    }
+
+    /** Cached squared Euclidean norm of point i. */
+    double squaredNorm(std::size_t i) const { return norms2[i]; }
+
+    /** Cached Euclidean norm (sqrt of the squared norm) of point i. */
+    double norm(std::size_t i) const { return normsEuclid[i]; }
+
+    /** Gather point i back into an AoS vector. */
+    FeatureVector point(std::size_t i) const;
+
+    /**
+     * Squared distance from point i to q, bit-identical to
+     * q.squaredDistance(point(i)).
+     */
+    double squaredDistanceTo(std::size_t i, const FeatureVector &q) const;
+
+    /**
+     * Batch kernel: out[j - begin] = squared distance from point j to
+     * q for every j in [begin, end). Blocked over points with the
+     * dimension loop outermost; per point, terms accumulate in
+     * ascending dimension order (the bit-identity contract above).
+     */
+    void squaredDistanceBatch(std::size_t begin, std::size_t end,
+                              const FeatureVector &q, double *out) const;
+
+  private:
+    struct AlignedFree
+    {
+        void operator()(double *p) const { ::operator delete[](
+            p, std::align_val_t(columnAlignment)); }
+    };
+
+    std::unique_ptr<double[], AlignedFree> storage;
+    std::size_t count = 0;
+    std::size_t stride = 0; // doubles per column, padded for alignment
+    std::vector<double> norms2;
+    std::vector<double> normsEuclid;
+};
+
+} // namespace gws
+
+#endif // GWS_CLUSTER_FEATURE_MATRIX_HH

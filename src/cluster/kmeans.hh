@@ -25,6 +25,27 @@ enum class KMeansInit : std::uint8_t
     Random = 1,
 };
 
+/**
+ * Which Lloyd implementation kmeans() runs. Both produce bit-identical
+ * Clustering output (assignments, centroids, representatives) — the
+ * fast path's Hamerly bounds only ever skip scans they can prove
+ * irrelevant, and its full scans replay the naive arithmetic in the
+ * same order. test_cluster_fastpath verifies the identity.
+ */
+enum class KMeansPath : std::uint8_t
+{
+    /** Fast unless the GWS_NAIVE_KMEANS environment variable forces
+     *  the naive path (read once at first use). */
+    Auto = 0,
+
+    /** Textbook full scans + full k-means++ rescans (A/B reference). */
+    Naive = 1,
+
+    /** SoA feature matrix, Hamerly upper/lower distance bounds, and
+     *  newest-centroid-only k-means++ D^2 pruning. */
+    Fast = 2,
+};
+
 /** k-means parameters. */
 struct KMeansConfig
 {
@@ -42,6 +63,9 @@ struct KMeansConfig
 
     /** RNG seed (restart r uses seed + r). */
     std::uint64_t seed = 12345;
+
+    /** Implementation selection (bit-identical either way). */
+    KMeansPath path = KMeansPath::Auto;
 };
 
 /**

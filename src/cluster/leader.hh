@@ -30,6 +30,14 @@ struct LeaderConfig
 
     /** Run the centroid-refinement pass. */
     bool refine = true;
+
+    /**
+     * Pass 1 assigns each point to the *nearest* leader within the
+     * radius (the default, matching the original behaviour). When
+     * false, the scan stops at the first leader within the radius —
+     * cheaper, order-biased, and a different (still valid) clustering.
+     */
+    bool nearestLeader = true;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gpusim/draw_work_cache.hh"
 #include "runtime/counters.hh"
 #include "runtime/parallel_for.hh"
 #include "util/logging.hh"
@@ -52,7 +53,8 @@ TraceCost::fps() const
 }
 
 GpuSimulator::GpuSimulator(GpuConfig config)
-    : cfg(std::move(config)), memory(cfg)
+    : cfg(std::move(config)), memory(cfg),
+      capacityKey(capacityConfigHash(cfg))
 {
     cfg.validate();
 }
@@ -71,6 +73,24 @@ GpuSimulator::weightedOps(const InstructionMix &mix) const
 DrawWork
 GpuSimulator::computeDrawWork(const Trace &trace,
                               const DrawCall &draw) const
+{
+    if (!drawWorkCacheEnabled())
+        return computeDrawWorkUncached(trace, draw);
+    const DrawWorkKey key = drawWorkKey(trace, draw, capacityKey);
+    DrawWork work;
+    if (drawWorkCacheLookup(key, &work)) {
+        runtime_detail::noteDrawCache(1, 0);
+        return work;
+    }
+    work = computeDrawWorkUncached(trace, draw);
+    drawWorkCacheInsert(key, work);
+    runtime_detail::noteDrawCache(0, 1);
+    return work;
+}
+
+DrawWork
+GpuSimulator::computeDrawWorkUncached(const Trace &trace,
+                                      const DrawCall &draw) const
 {
     const auto &vs = trace.shaders().get(draw.state.vertexShader);
     const auto &ps = trace.shaders().get(draw.state.pixelShader);

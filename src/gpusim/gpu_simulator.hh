@@ -150,7 +150,12 @@ class GpuSimulator
     /** The design point being simulated. */
     const GpuConfig &config() const { return cfg; }
 
-    /** Compute the clock-independent work of one draw. */
+    /**
+     * Compute the clock-independent work of one draw. Memoized in the
+     * process-global draw-work cache (see draw_work_cache.hh) keyed by
+     * the draw's resolved content and this config's capacity hash;
+     * a hit returns the exact value a fresh computation produced.
+     */
     DrawWork computeDrawWork(const Trace &trace,
                              const DrawCall &draw) const;
 
@@ -170,8 +175,15 @@ class GpuSimulator
     /** Weighted SIMD ops per invocation of a shader. */
     double weightedOps(const InstructionMix &mix) const;
 
+    /** The uncached draw-work computation computeDrawWork memoizes. */
+    DrawWork computeDrawWorkUncached(const Trace &trace,
+                                     const DrawCall &draw) const;
+
     GpuConfig cfg;
     MemorySystem memory;
+
+    /** Hash of the capacity parameters, precomputed once per config. */
+    std::uint64_t capacityKey = 0;
 };
 
 } // namespace gws

@@ -17,6 +17,12 @@ std::atomic<std::uint64_t> g_chunks{0};
 std::atomic<std::uint64_t> g_tasks{0};
 std::atomic<std::uint64_t> g_submitter_wait_ns{0};
 std::atomic<std::uint64_t> g_worker_idle_ns{0};
+std::atomic<std::uint64_t> g_draw_cache_hits{0};
+std::atomic<std::uint64_t> g_draw_cache_misses{0};
+std::atomic<std::uint64_t> g_kmeans_bounds_skipped{0};
+std::atomic<std::uint64_t> g_kmeans_full_scans{0};
+std::atomic<std::uint64_t> g_leader_norm_rejects{0};
+std::atomic<std::uint64_t> g_leader_distances{0};
 
 struct RegionAccum
 {
@@ -45,7 +51,33 @@ runtimeCounters()
     c.tasksSubmitted = g_tasks.load();
     c.submitterWaitNs = g_submitter_wait_ns.load();
     c.workerIdleNs = g_worker_idle_ns.load();
+    c.drawCacheHits = g_draw_cache_hits.load();
+    c.drawCacheMisses = g_draw_cache_misses.load();
+    c.kmeansBoundsSkipped = g_kmeans_bounds_skipped.load();
+    c.kmeansFullScans = g_kmeans_full_scans.load();
+    c.leaderNormRejects = g_leader_norm_rejects.load();
+    c.leaderDistances = g_leader_distances.load();
     return c;
+}
+
+double
+RuntimeCounters::drawCacheHitRate() const
+{
+    const std::uint64_t total = drawCacheHits + drawCacheMisses;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(drawCacheHits) /
+                     static_cast<double>(total);
+}
+
+double
+RuntimeCounters::kmeansBoundsSkipRate() const
+{
+    const std::uint64_t total = kmeansBoundsSkipped + kmeansFullScans;
+    return total == 0
+               ? 0.0
+               : static_cast<double>(kmeansBoundsSkipped) /
+                     static_cast<double>(total);
 }
 
 void
@@ -57,6 +89,12 @@ resetRuntimeCounters()
     g_tasks = 0;
     g_submitter_wait_ns = 0;
     g_worker_idle_ns = 0;
+    g_draw_cache_hits = 0;
+    g_draw_cache_misses = 0;
+    g_kmeans_bounds_skipped = 0;
+    g_kmeans_full_scans = 0;
+    g_leader_norm_rejects = 0;
+    g_leader_distances = 0;
     std::lock_guard<std::mutex> lock(g_region_mutex);
     regionMap().clear();
 }
@@ -103,6 +141,18 @@ runtimeCountersReport()
         << static_cast<double>(c.submitterWaitNs) * 1e-6
         << " ms, worker idle "
         << static_cast<double>(c.workerIdleNs) * 1e-6 << " ms\n";
+    if (c.drawCacheHits + c.drawCacheMisses > 0)
+        oss << "runtime: draw-work memo cache: " << c.drawCacheHits
+            << " hits / " << c.drawCacheMisses << " misses ("
+            << c.drawCacheHitRate() * 100.0 << "% hit rate)\n";
+    if (c.kmeansBoundsSkipped + c.kmeansFullScans > 0)
+        oss << "runtime: kmeans bounds: " << c.kmeansBoundsSkipped
+            << " skipped / " << c.kmeansFullScans << " full scans ("
+            << c.kmeansBoundsSkipRate() * 100.0 << "% skipped)\n";
+    if (c.leaderNormRejects + c.leaderDistances > 0)
+        oss << "runtime: leader scan: " << c.leaderNormRejects
+            << " norm rejects / " << c.leaderDistances
+            << " full distances\n";
     for (const RegionStat &r : runtimeRegionStats())
         oss << "runtime: region " << r.name << ": "
             << static_cast<double>(r.ns) * 1e-6 << " ms over " << r.count
@@ -137,6 +187,37 @@ void
 noteWorkerIdle(std::uint64_t ns)
 {
     g_worker_idle_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+noteDrawCache(std::uint64_t hits, std::uint64_t misses)
+{
+    if (hits)
+        g_draw_cache_hits.fetch_add(hits, std::memory_order_relaxed);
+    if (misses)
+        g_draw_cache_misses.fetch_add(misses, std::memory_order_relaxed);
+}
+
+void
+noteKmeansBounds(std::uint64_t skipped, std::uint64_t fullScans)
+{
+    if (skipped)
+        g_kmeans_bounds_skipped.fetch_add(skipped,
+                                          std::memory_order_relaxed);
+    if (fullScans)
+        g_kmeans_full_scans.fetch_add(fullScans,
+                                      std::memory_order_relaxed);
+}
+
+void
+noteLeaderScan(std::uint64_t rejects, std::uint64_t distances)
+{
+    if (rejects)
+        g_leader_norm_rejects.fetch_add(rejects,
+                                        std::memory_order_relaxed);
+    if (distances)
+        g_leader_distances.fetch_add(distances,
+                                     std::memory_order_relaxed);
 }
 
 std::uint64_t

@@ -43,6 +43,30 @@ struct RuntimeCounters
 
     /** ns pool workers spent blocked on the queue (idle/steal wait). */
     std::uint64_t workerIdleNs = 0;
+
+    /** Draw-work memo cache hits (GpuSimulator::computeDrawWork). */
+    std::uint64_t drawCacheHits = 0;
+
+    /** Draw-work memo cache misses (fresh simulations). */
+    std::uint64_t drawCacheMisses = 0;
+
+    /** k-means points whose centroid scan was skipped by bounds. */
+    std::uint64_t kmeansBoundsSkipped = 0;
+
+    /** k-means points that needed the full centroid scan. */
+    std::uint64_t kmeansFullScans = 0;
+
+    /** Leader-scan candidates rejected by the norm bound. */
+    std::uint64_t leaderNormRejects = 0;
+
+    /** Leader-scan candidates that needed a full distance. */
+    std::uint64_t leaderDistances = 0;
+
+    /** Fraction of draw-work lookups served by the memo cache. */
+    double drawCacheHitRate() const;
+
+    /** Fraction of k-means assignment decisions skipped by bounds. */
+    double kmeansBoundsSkipRate() const;
 };
 
 /** Current counter values. */
@@ -104,6 +128,15 @@ void noteSubmitterWait(std::uint64_t ns);
 
 /** Record ns a worker spent blocked on the empty queue. */
 void noteWorkerIdle(std::uint64_t ns);
+
+/** Record draw-work memo cache lookups (aggregated per chunk). */
+void noteDrawCache(std::uint64_t hits, std::uint64_t misses);
+
+/** Record k-means bound skips / full scans (aggregated per chunk). */
+void noteKmeansBounds(std::uint64_t skipped, std::uint64_t fullScans);
+
+/** Record leader norm rejects / full distances (per point batch). */
+void noteLeaderScan(std::uint64_t rejects, std::uint64_t distances);
 
 /** Monotonic now() in ns (steady clock). */
 std::uint64_t nowNs();
