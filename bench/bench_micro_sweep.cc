@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Before/after microbenchmark of the compute-once / retime-many sweep
+ * engine.
+ *
+ * Generates a large synthetic playthrough (>= 50k draws by default),
+ * flattens it into a WorkTrace once, then retimes a 16-point core
+ * clock sweep through both retimeAll paths at one thread: the naive
+ * per-design loops (one GpuSimulator + timeDrawWork walk per config)
+ * versus the blocked engine kernel. Checks the two results are
+ * bit-identical — totals, per-group costs, per-draw costs, bottleneck
+ * histograms — and reports the single-thread speedup, the acceptance
+ * number for the sweep-engine work, plus the engine's parallel
+ * scaling at the requested thread count. Results land in
+ * BENCH_micro_sweep.json so the trajectory is tracked run over run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/sweep.hh"
+#include "gpusim/work_trace.hh"
+#include "synth/generator.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace gws;
+
+/** A playthrough big enough that the sweep dominates (~50k+ draws). */
+Trace
+sweepTrace(std::size_t target_draws)
+{
+    GameProfile p = builtinProfile("shock1", SuiteScale::Ci);
+    p.name = "micro_sweep";
+    p.segments = 12;
+    p.segmentFramesMin = 28;
+    p.segmentFramesMax = 36;
+    // Scale the per-frame draw count to hit the target at the
+    // profile's ~12 * 32 expected frames.
+    const double frames = 12.0 * 32.0;
+    p.drawsPerFrame = std::max(
+        40.0, static_cast<double>(target_draws) / frames);
+    return GameGenerator(p).generate();
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t1 - t0)
+                   .count()) *
+           1e-6;
+}
+
+/** Exact equality of two sweep results (the A/B contract). */
+bool
+identical(const SweepResult &a, const SweepResult &b)
+{
+    return a.configCount == b.configCount &&
+           a.groupCount == b.groupCount && a.drawCount == b.drawCount &&
+           a.totalNs == b.totalNs && a.groupNs == b.groupNs &&
+           a.bottleneckNs == b.bottleneckNs &&
+           a.bottleneckCount == b.bottleneckCount && a.drawNs == b.drawNs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_micro_sweep",
+                   "naive vs engine sweep retiming A/B microbenchmark");
+    addThreadsOption(args);
+    args.addInt("draws", 50000, "target draw-call count of the trace");
+    args.addInt("configs", 16, "clock points in the sweep");
+    args.addInt("repeats", 3, "timed repetitions per variant");
+    args.addString("out", "BENCH_micro_sweep.json",
+                   "JSON output path (empty = skip)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    applyThreadsOption(args);
+    const std::size_t target_draws =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1000, args.getInt("draws")));
+    const std::size_t n_cfg = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, args.getInt("configs")));
+    const std::size_t repeats =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, args.getInt("repeats")));
+
+    std::printf("=== MS — sweep engine A/B (target draws=%zu, "
+                "configs=%zu) ===\n",
+                target_draws, n_cfg);
+
+    const Trace trace = sweepTrace(target_draws);
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    // Compute-once pass (parallel at the requested thread count).
+    double build_ms = 0.0;
+    WorkTrace wt;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double ms =
+            wallMs([&] { wt = buildWorkTrace(trace, sim); });
+        build_ms = r == 0 ? ms : std::min(build_ms, ms);
+    }
+    std::printf("trace: %zu draws in %zu frames, work trace built in "
+                "%.1f ms\n",
+                wt.drawCount(), wt.groupCount(), build_ms);
+
+    std::vector<double> scales(n_cfg);
+    for (std::size_t i = 0; i < n_cfg; ++i)
+        scales[i] = 0.5 +
+                    1.5 * static_cast<double>(i) /
+                        static_cast<double>(n_cfg - 1);
+    const std::vector<GpuConfig> points =
+        clockSweepConfigs(makeGpuPreset("baseline"), scales);
+
+    SweepConfig naive_cfg;
+    naive_cfg.path = SweepPath::Naive;
+    naive_cfg.perDraw = true;
+    SweepConfig engine_cfg = naive_cfg;
+    engine_cfg.path = SweepPath::Engine;
+
+    // Bit-identity check first (also warms both paths).
+    const SweepResult naive_out = retimeAll(wt, points, naive_cfg);
+    const SweepResult engine_out = retimeAll(wt, points, engine_cfg);
+    const bool bit_identical = identical(naive_out, engine_out);
+    if (!bit_identical)
+        GWS_WARN("naive and engine sweep outputs differ");
+
+    // Headline A/B at one thread: the speedup isolates the blocked
+    // kernel (SoA streaming + hoisted constants) from parallelism.
+    const RuntimeConfig base = runtimeConfig();
+    RuntimeConfig single = base;
+    single.threads = 1;
+    setRuntimeConfig(single);
+
+    double naive_ms = 0.0;
+    double engine1_ms = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double nm =
+            wallMs([&] { retimeAll(wt, points, naive_cfg); });
+        naive_ms = r == 0 ? nm : std::min(naive_ms, nm);
+        const double em =
+            wallMs([&] { retimeAll(wt, points, engine_cfg); });
+        engine1_ms = r == 0 ? em : std::min(engine1_ms, em);
+    }
+    const double single_speedup = naive_ms / engine1_ms;
+
+    // Engine at the requested thread count (parallel scaling).
+    setRuntimeConfig(base);
+    applyThreadsOption(args);
+    resetRuntimeCounters();
+    double engine_ms = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double ms =
+            wallMs([&] { retimeAll(wt, points, engine_cfg); });
+        engine_ms = r == 0 ? ms : std::min(engine_ms, ms);
+    }
+    const double retime_rate =
+        static_cast<double>(wt.drawCount() * n_cfg) /
+        (engine_ms * 1e-3) * 1e-6;
+
+    std::printf("\n%-28s %10s %9s\n", "variant", "wall ms", "speedup");
+    std::printf("%-28s %10.1f %9.2f\n", "naive (1 thread)", naive_ms,
+                1.0);
+    std::printf("%-28s %10.1f %9.2f\n", "engine (1 thread)", engine1_ms,
+                single_speedup);
+    std::printf("%-28s %10.1f %9.2f\n", "engine (parallel)", engine_ms,
+                naive_ms / engine_ms);
+    std::printf("\nbit-identical naive vs engine: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+    std::printf("engine retime rate: %.1f M draw-configs/s\n",
+                retime_rate);
+
+    const std::string out = args.getString("out");
+    if (!out.empty()) {
+        FILE *fp = std::fopen(out.c_str(), "w");
+        if (fp == nullptr)
+            GWS_FATAL("cannot write ", out);
+        std::fprintf(
+            fp,
+            "{\n  \"bench\": \"micro_sweep\",\n"
+            "  \"draws\": %zu,\n  \"frames\": %zu,\n"
+            "  \"configs\": %zu,\n"
+            "  \"work_trace_build_ms\": %.3f,\n"
+            "  \"naive_ms\": %.3f,\n"
+            "  \"engine_single_thread_ms\": %.3f,\n"
+            "  \"engine_parallel_ms\": %.3f,\n"
+            "  \"single_thread_speedup\": %.3f,\n"
+            "  \"parallel_speedup\": %.3f,\n"
+            "  \"retime_mdraw_configs_per_s\": %.3f,\n"
+            "  \"bit_identical\": %s\n}\n",
+            wt.drawCount(), wt.groupCount(), n_cfg, build_ms, naive_ms,
+            engine1_ms, engine_ms, single_speedup, naive_ms / engine_ms,
+            retime_rate, bit_identical ? "true" : "false");
+        std::fclose(fp);
+        std::printf("wrote %s\n", out.c_str());
+    }
+
+    reportRuntime(args);
+    return bit_identical ? 0 : 1;
+}

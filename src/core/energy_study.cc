@@ -22,78 +22,79 @@ runDvfsStudy(const Trace &trace, const WorkloadSubset &subset,
     GWS_ASSERT(!config.scales.empty(), "empty DVFS sweep");
     config.power.validate();
 
-    // --- one traffic pass over the parent --------------------------------
+    // --- compute once: flatten parent and subset work ---------------------
+    // DRAM traffic is clock-independent, so both totals come straight
+    // off the flattened DRAM column (parent: every draw in row order;
+    // subset: representative traffic expanded like costs).
     const GpuSimulator base_sim(base);
-    std::vector<DrawWork> parent_works;
-    parent_works.reserve(trace.totalDraws());
-    double parent_dram = 0.0;
-    for (const auto &frame : trace.frames()) {
-        for (const auto &draw : frame.draws()) {
-            parent_works.push_back(base_sim.computeDrawWork(trace, draw));
-            parent_dram += parent_works.back().traffic.totalDramBytes();
-        }
-    }
+    const WorkTrace parent_work = buildWorkTrace(trace, base_sim);
+    const WorkTrace subset_work =
+        buildSubsetWorkTrace(trace, subset, base_sim);
 
-    // --- one traffic pass over the subset representatives -----------------
-    struct UnitWork
-    {
-        std::vector<DrawWork> repWorks;
-        const SubsetUnit *unit;
-        double dramBytes = 0.0; // predicted for the whole frame
-    };
-    std::vector<UnitWork> unit_works;
+    const double parent_dram = parent_work.totalDramBytes();
+
+    const double *rep_dram_col = subset_work.dramBytes();
     double subset_dram = 0.0;
-    for (const auto &unit : subset.units) {
-        UnitWork uw;
-        uw.unit = &unit;
-        const Frame &frame = trace.frame(unit.frameIndex);
-        const Clustering &c = unit.frameSubset.clustering;
-        std::vector<double> rep_dram(c.k, 0.0);
-        for (std::size_t cl = 0; cl < c.k; ++cl) {
-            uw.repWorks.push_back(base_sim.computeDrawWork(
-                trace, frame.draws()[c.representatives[cl]]));
-            rep_dram[cl] = uw.repWorks.back().traffic.totalDramBytes();
-        }
+    std::vector<double> unit_dram(subset.units.size(), 0.0);
+    for (std::size_t u = 0; u < subset.units.size(); ++u) {
+        const SubsetUnit &unit = subset.units[u];
+        std::vector<double> rep_dram;
+        rep_dram.reserve(subset_work.groupEnd(u) -
+                         subset_work.groupBegin(u));
+        for (std::size_t i = subset_work.groupBegin(u);
+             i < subset_work.groupEnd(u); ++i)
+            rep_dram.push_back(rep_dram_col[i]);
         // Expand per-draw DRAM traffic the same way costs expand.
         const auto predicted = predictItemCosts(
-            c, rep_dram, subset.prediction, unit.frameSubset.workUnits);
+            unit.frameSubset.clustering, rep_dram, subset.prediction,
+            unit.frameSubset.workUnits);
         for (double bytes : predicted)
-            uw.dramBytes += bytes;
-        subset_dram += unit.frameWeight * uw.dramBytes;
-        unit_works.push_back(std::move(uw));
+            unit_dram[u] += bytes;
+        subset_dram += unit.frameWeight * unit_dram[u];
     }
 
-    // --- sweep -------------------------------------------------------------
+    // --- retime many: every clock point in one engine pass each -----------
+    const std::vector<GpuConfig> points =
+        clockSweepConfigs(base, config.scales);
+    SweepConfig parent_pass;
+    parent_pass.path = config.path;
+    SweepConfig subset_pass = parent_pass;
+    subset_pass.perDraw = true;
+    const SweepResult parent_sweep =
+        retimeAll(parent_work, points, parent_pass);
+    const SweepResult subset_sweep =
+        retimeAll(subset_work, points, subset_pass);
+
+    // --- score every point -------------------------------------------------
     DvfsResult result;
     std::vector<double> parent_energy, subset_energy;
     std::vector<double> parent_edp, subset_edp;
-    for (double scale : config.scales) {
-        const GpuConfig cfg = base.withCoreClockScale(scale);
-        const GpuSimulator sim(cfg);
+    for (std::size_t c = 0; c < points.size(); ++c) {
+        const GpuConfig &cfg = points[c];
         const double overhead = cfg.frameOverheadUs * 1e3;
 
-        double parent_ns =
-            overhead * static_cast<double>(trace.frameCount());
-        for (const auto &w : parent_works)
-            parent_ns += sim.timeDrawWork(w).totalNs;
+        const double parent_ns = parent_sweep.totalNs[c];
 
         double subset_ns = 0.0;
-        for (const auto &uw : unit_works) {
+        for (std::size_t u = 0; u < subset.units.size(); ++u) {
+            const SubsetUnit &unit = subset.units[u];
             std::vector<double> rep_costs;
-            rep_costs.reserve(uw.repWorks.size());
-            for (const auto &w : uw.repWorks)
-                rep_costs.push_back(sim.timeDrawWork(w).totalNs);
+            rep_costs.reserve(subset_work.groupEnd(u) -
+                              subset_work.groupBegin(u));
+            for (std::size_t i = subset_work.groupBegin(u);
+                 i < subset_work.groupEnd(u); ++i)
+                rep_costs.push_back(subset_sweep.drawNsAt(c, i));
             const auto predicted = predictItemCosts(
-                uw.unit->frameSubset.clustering, rep_costs,
-                subset.prediction, uw.unit->frameSubset.workUnits);
+                unit.frameSubset.clustering, rep_costs, subset.prediction,
+                unit.frameSubset.workUnits);
             double frame_ns = overhead;
             for (double ns : predicted)
                 frame_ns += ns;
-            subset_ns += uw.unit->frameWeight * frame_ns;
+            subset_ns += unit.frameWeight * frame_ns;
         }
 
         DvfsPoint point;
-        point.scale = scale;
+        point.scale = config.scales[c];
         point.parent = estimateEnergy({parent_ns, parent_dram}, cfg,
                                       config.power);
         point.subset = estimateEnergy({subset_ns, subset_dram}, cfg,

@@ -14,6 +14,7 @@
 #define GWS_CORE_ENERGY_STUDY_HH
 
 #include "core/subset_pipeline.hh"
+#include "core/sweep.hh"
 #include "gpusim/power.hh"
 
 namespace gws {
@@ -26,6 +27,9 @@ struct DvfsConfig
 
     /** Power model parameters. */
     PowerConfig power;
+
+    /** Retiming implementation (Auto honors GWS_NAIVE_SWEEP). */
+    SweepPath path = SweepPath::Auto;
 };
 
 /** One sweep point's scores, parent vs subset-predicted. */

@@ -18,61 +18,46 @@ runFreqScaling(const Trace &trace, const WorkloadSubset &subset,
     FreqScalingResult result;
     result.scales = config.scales;
 
-    // --- one traffic pass over the parent --------------------------------
+    // --- compute once: flatten parent and subset work ---------------------
     const GpuSimulator base_sim(base);
-    std::vector<std::vector<DrawWork>> parent_works;
-    parent_works.reserve(trace.frameCount());
-    for (const auto &frame : trace.frames()) {
-        std::vector<DrawWork> works;
-        works.reserve(frame.drawCount());
-        for (const auto &draw : frame.draws())
-            works.push_back(base_sim.computeDrawWork(trace, draw));
-        parent_works.push_back(std::move(works));
-    }
+    const WorkTrace parent_work = buildWorkTrace(trace, base_sim);
+    const WorkTrace subset_work =
+        buildSubsetWorkTrace(trace, subset, base_sim);
 
-    // --- one traffic pass over the subset representatives ----------------
-    struct UnitWork
-    {
-        std::vector<DrawWork> repWorks; // one per cluster
-        const SubsetUnit *unit;
-    };
-    std::vector<UnitWork> unit_works;
-    for (const auto &unit : subset.units) {
-        UnitWork uw;
-        uw.unit = &unit;
-        const Frame &frame = trace.frame(unit.frameIndex);
-        for (std::size_t rep : unit.frameSubset.clustering.representatives)
-            uw.repWorks.push_back(
-                base_sim.computeDrawWork(trace, frame.draws()[rep]));
-        unit_works.push_back(std::move(uw));
-    }
+    // --- retime many: every clock point in one engine pass each -----------
+    const std::vector<GpuConfig> points =
+        clockSweepConfigs(base, config.scales);
+    SweepConfig parent_pass;
+    parent_pass.path = config.path;
+    SweepConfig subset_pass = parent_pass;
+    subset_pass.perDraw = true; // representative costs feed prediction
+    const SweepResult parent_sweep =
+        retimeAll(parent_work, points, parent_pass);
+    const SweepResult subset_sweep =
+        retimeAll(subset_work, points, subset_pass);
 
-    // --- re-time per clock point ------------------------------------------
-    for (double scale : config.scales) {
-        const GpuSimulator sim(base.withCoreClockScale(scale));
-        const double overhead = sim.config().frameOverheadUs * 1e3;
+    for (std::size_t c = 0; c < points.size(); ++c) {
+        result.parentNs.push_back(parent_sweep.totalNs[c]);
 
-        double parent_total = 0.0;
-        for (const auto &works : parent_works) {
-            for (const auto &w : works)
-                parent_total += sim.timeDrawWork(w).totalNs;
-            parent_total += overhead;
-        }
-        result.parentNs.push_back(parent_total);
-
+        // Expand each unit's representative costs through the
+        // prediction mode, weight by the frames the unit stands for.
+        const double overhead = points[c].frameOverheadUs * 1e3;
         double subset_total = 0.0;
-        for (const auto &uw : unit_works) {
+        for (std::size_t u = 0; u < subset.units.size(); ++u) {
+            const SubsetUnit &unit = subset.units[u];
             std::vector<double> rep_costs;
-            rep_costs.reserve(uw.repWorks.size());
-            for (const auto &w : uw.repWorks)
-                rep_costs.push_back(sim.timeDrawWork(w).totalNs);
+            rep_costs.reserve(subset_work.groupEnd(u) -
+                              subset_work.groupBegin(u));
+            for (std::size_t i = subset_work.groupBegin(u);
+                 i < subset_work.groupEnd(u); ++i)
+                rep_costs.push_back(subset_sweep.drawNsAt(c, i));
             const auto predicted = predictItemCosts(
-                uw.unit->frameSubset.clustering, rep_costs,
-                subset.prediction, uw.unit->frameSubset.workUnits);
+                unit.frameSubset.clustering, rep_costs, subset.prediction,
+                unit.frameSubset.workUnits);
             double frame_ns = overhead;
             for (double ns : predicted)
                 frame_ns += ns;
-            subset_total += uw.unit->frameWeight * frame_ns;
+            subset_total += unit.frameWeight * frame_ns;
         }
         result.subsetNs.push_back(subset_total);
     }

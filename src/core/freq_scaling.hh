@@ -7,8 +7,10 @@
  * coefficients of 99.7 %+ for subsets below 1 % of the parent.
  *
  * Because cache behavior is clock-independent, the study computes
- * per-draw work once and re-times it per clock point — a full sweep
- * costs one traffic pass plus cheap arithmetic.
+ * per-draw work once (a parallel WorkTrace build) and re-times it at
+ * every clock point in one sweep-engine pass — see core/sweep.hh for
+ * the engine and its bit-identity contract against the per-design
+ * naive loops.
  */
 
 #ifndef GWS_CORE_FREQ_SCALING_HH
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "core/subset_pipeline.hh"
+#include "core/sweep.hh"
 #include "gpusim/gpu_simulator.hh"
 
 namespace gws {
@@ -29,6 +32,9 @@ struct FreqScalingConfig
 
     /** Index of the normalization point (scale treated as baseline). */
     std::size_t baselineIndex = 2;
+
+    /** Retiming implementation (Auto honors GWS_NAIVE_SWEEP). */
+    SweepPath path = SweepPath::Auto;
 };
 
 /** Result of one frequency-scaling study. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "gpusim/draw_work_cache.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -25,24 +26,75 @@ rankOf(const std::vector<double> &costs)
     return rank;
 }
 
+/**
+ * Parent cost of every design through the sweep engine: designs are
+ * grouped by capacity hash (first-seen order), each group computes
+ * its WorkTrace once and retimes all of its members in one pass. The
+ * engine's accumulation contract matches simulateTrace, so the costs
+ * are bit-identical to the naive per-design walk.
+ */
+std::vector<double>
+parentCostsEngine(const Trace &trace,
+                  const std::vector<GpuConfig> &designs, SweepPath path)
+{
+    std::vector<std::uint64_t> group_keys;
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const std::uint64_t key = capacityConfigHash(designs[i]);
+        std::size_t g = 0;
+        while (g < group_keys.size() && group_keys[g] != key)
+            ++g;
+        if (g == group_keys.size()) {
+            group_keys.push_back(key);
+            groups.emplace_back();
+        }
+        groups[g].push_back(i);
+    }
+
+    std::vector<double> costs(designs.size(), 0.0);
+    for (const std::vector<std::size_t> &members : groups) {
+        const GpuSimulator sim(designs[members.front()]);
+        const WorkTrace work = buildWorkTrace(trace, sim);
+        std::vector<GpuConfig> configs;
+        configs.reserve(members.size());
+        for (std::size_t i : members)
+            configs.push_back(designs[i]);
+        SweepConfig pass;
+        pass.path = path;
+        const SweepResult sweep = retimeAll(work, configs, pass);
+        for (std::size_t m = 0; m < members.size(); ++m)
+            costs[members[m]] = sweep.totalNs[m];
+    }
+    return costs;
+}
+
 } // namespace
 
 PathfindingResult
 runPathfinding(const Trace &trace, const WorkloadSubset &subset,
-               const std::vector<GpuConfig> &designs)
+               const std::vector<GpuConfig> &designs, SweepPath path)
 {
     GWS_ASSERT(designs.size() >= 2,
                "pathfinding needs at least two design points");
 
+    std::vector<double> parent_costs;
+    if (sweepUsesNaivePath(path)) {
+        for (const auto &design : designs) {
+            const GpuSimulator sim(design);
+            parent_costs.push_back(sim.simulateTrace(trace).totalNs);
+        }
+    } else {
+        parent_costs = parentCostsEngine(trace, designs, path);
+    }
+
     PathfindingResult result;
-    std::vector<double> parent_costs, subset_costs;
-    for (const auto &design : designs) {
-        const GpuSimulator sim(design);
+    std::vector<double> subset_costs;
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const GpuSimulator sim(designs[i]);
         DesignPointScore score;
-        score.name = design.name;
-        score.parentNs = sim.simulateTrace(trace).totalNs;
+        score.name = designs[i].name;
+        score.parentNs = parent_costs[i];
         score.subsetNs = subset.predictTotalNs(trace, sim);
-        parent_costs.push_back(score.parentNs);
         subset_costs.push_back(score.subsetNs);
         result.points.push_back(std::move(score));
     }

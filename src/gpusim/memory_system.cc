@@ -1,10 +1,36 @@
 #include "gpusim/memory_system.hh"
 
 #include <algorithm>
+#include <mutex>
 
 #include "gpusim/access_stream.hh"
+#include "runtime/counters.hh"
 
 namespace gws {
+
+namespace {
+
+/** splitmix64 finalizer — the same mixer the draw-work cache uses. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Hash of (texture-table epoch, bound id list), order-sensitive. */
+std::uint64_t
+texBindKey(const Trace &trace, const DrawCall &draw)
+{
+    std::uint64_t key = mix64(trace.textureEpoch());
+    for (TextureId id : draw.state.textures)
+        key = mix64(key ^ id);
+    return key;
+}
+
+} // namespace
 
 double
 MemoryTraffic::totalL2Bytes() const
@@ -23,6 +49,33 @@ MemoryTraffic::totalDramBytes() const
 MemorySystem::MemorySystem(const GpuConfig &config) : cfg(config)
 {
     cfg.validate();
+}
+
+MemorySystem::TexBindScan
+MemorySystem::boundTextureScan(const Trace &trace,
+                               const DrawCall &draw) const
+{
+    const std::uint64_t key = texBindKey(trace, draw);
+    {
+        std::shared_lock<std::shared_mutex> lock(texBindMutex);
+        const auto it = texBindMemo.find(key);
+        if (it != texBindMemo.end()) {
+            runtime_detail::noteTexBindScan(1, 0);
+            return it->second;
+        }
+    }
+
+    TexBindScan scan;
+    for (TextureId id : draw.state.textures) {
+        const TextureDesc &tex = trace.texture(id);
+        scan.boundBytes += tex.sizeBytes();
+        scan.bytesPerTexelSum += tex.bytesPerTexel;
+    }
+    runtime_detail::noteTexBindScan(0, 1);
+
+    std::unique_lock<std::shared_mutex> lock(texBindMutex);
+    texBindMemo.emplace(key, scan);
+    return scan;
 }
 
 MemoryTraffic
@@ -54,14 +107,9 @@ MemorySystem::drawTraffic(const Trace &trace, const DrawCall &draw) const
     if (t.texSamples == 0 || draw.state.textures.empty())
         return t;
 
-    std::uint64_t bound_bytes = 0;
-    std::uint64_t bpt_sum = 0;
-    for (TextureId id : draw.state.textures) {
-        const TextureDesc &tex = trace.texture(id);
-        bound_bytes += tex.sizeBytes();
-        bpt_sum += tex.bytesPerTexel;
-    }
-    const double avg_bpt = static_cast<double>(bpt_sum) /
+    const TexBindScan scan = boundTextureScan(trace, draw);
+    const std::uint64_t bound_bytes = scan.boundBytes;
+    const double avg_bpt = static_cast<double>(scan.bytesPerTexelSum) /
                            static_cast<double>(draw.state.textures.size());
 
     StreamParams params;

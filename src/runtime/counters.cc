@@ -23,6 +23,14 @@ std::atomic<std::uint64_t> g_kmeans_bounds_skipped{0};
 std::atomic<std::uint64_t> g_kmeans_full_scans{0};
 std::atomic<std::uint64_t> g_leader_norm_rejects{0};
 std::atomic<std::uint64_t> g_leader_distances{0};
+std::atomic<std::uint64_t> g_worktrace_draws{0};
+std::atomic<std::uint64_t> g_worktrace_build_ns{0};
+std::atomic<std::uint64_t> g_sweep_passes{0};
+std::atomic<std::uint64_t> g_sweep_configs{0};
+std::atomic<std::uint64_t> g_sweep_draws_retimed{0};
+std::atomic<std::uint64_t> g_sweep_retime_ns{0};
+std::atomic<std::uint64_t> g_texbind_hits{0};
+std::atomic<std::uint64_t> g_texbind_misses{0};
 
 struct RegionAccum
 {
@@ -57,7 +65,32 @@ runtimeCounters()
     c.kmeansFullScans = g_kmeans_full_scans.load();
     c.leaderNormRejects = g_leader_norm_rejects.load();
     c.leaderDistances = g_leader_distances.load();
+    c.workTraceDraws = g_worktrace_draws.load();
+    c.workTraceBuildNs = g_worktrace_build_ns.load();
+    c.sweepPasses = g_sweep_passes.load();
+    c.sweepConfigs = g_sweep_configs.load();
+    c.sweepDrawsRetimed = g_sweep_draws_retimed.load();
+    c.sweepRetimeNs = g_sweep_retime_ns.load();
+    c.texBindHits = g_texbind_hits.load();
+    c.texBindMisses = g_texbind_misses.load();
     return c;
+}
+
+double
+RuntimeCounters::sweepConfigsPerPass() const
+{
+    return sweepPasses == 0 ? 0.0
+                            : static_cast<double>(sweepConfigs) /
+                                  static_cast<double>(sweepPasses);
+}
+
+double
+RuntimeCounters::sweepDrawsRetimedPerSec() const
+{
+    return sweepRetimeNs == 0
+               ? 0.0
+               : static_cast<double>(sweepDrawsRetimed) /
+                     (static_cast<double>(sweepRetimeNs) * 1e-9);
 }
 
 double
@@ -95,6 +128,14 @@ resetRuntimeCounters()
     g_kmeans_full_scans = 0;
     g_leader_norm_rejects = 0;
     g_leader_distances = 0;
+    g_worktrace_draws = 0;
+    g_worktrace_build_ns = 0;
+    g_sweep_passes = 0;
+    g_sweep_configs = 0;
+    g_sweep_draws_retimed = 0;
+    g_sweep_retime_ns = 0;
+    g_texbind_hits = 0;
+    g_texbind_misses = 0;
     std::lock_guard<std::mutex> lock(g_region_mutex);
     regionMap().clear();
 }
@@ -153,6 +194,19 @@ runtimeCountersReport()
         oss << "runtime: leader scan: " << c.leaderNormRejects
             << " norm rejects / " << c.leaderDistances
             << " full distances\n";
+    if (c.workTraceDraws > 0)
+        oss << "runtime: work trace: " << c.workTraceDraws
+            << " draws flattened in "
+            << static_cast<double>(c.workTraceBuildNs) * 1e-6
+            << " ms\n";
+    if (c.sweepPasses > 0)
+        oss << "runtime: sweep: " << c.sweepPasses << " passes, "
+            << c.sweepConfigsPerPass() << " configs/pass, "
+            << c.sweepDrawsRetimed << " draw-configs retimed ("
+            << c.sweepDrawsRetimedPerSec() * 1e-6 << " M/s)\n";
+    if (c.texBindHits + c.texBindMisses > 0)
+        oss << "runtime: tex-bind memo: " << c.texBindHits
+            << " hits / " << c.texBindMisses << " descriptor scans\n";
     for (const RegionStat &r : runtimeRegionStats())
         oss << "runtime: region " << r.name << ": "
             << static_cast<double>(r.ns) * 1e-6 << " ms over " << r.count
@@ -196,6 +250,33 @@ noteDrawCache(std::uint64_t hits, std::uint64_t misses)
         g_draw_cache_hits.fetch_add(hits, std::memory_order_relaxed);
     if (misses)
         g_draw_cache_misses.fetch_add(misses, std::memory_order_relaxed);
+}
+
+void
+noteWorkTraceBuild(std::uint64_t draws, std::uint64_t ns)
+{
+    g_worktrace_draws.fetch_add(draws, std::memory_order_relaxed);
+    g_worktrace_build_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+noteSweepPass(std::uint64_t configs, std::uint64_t drawsRetimed,
+              std::uint64_t ns)
+{
+    g_sweep_passes.fetch_add(1, std::memory_order_relaxed);
+    g_sweep_configs.fetch_add(configs, std::memory_order_relaxed);
+    g_sweep_draws_retimed.fetch_add(drawsRetimed,
+                                    std::memory_order_relaxed);
+    g_sweep_retime_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void
+noteTexBindScan(std::uint64_t hits, std::uint64_t misses)
+{
+    if (hits)
+        g_texbind_hits.fetch_add(hits, std::memory_order_relaxed);
+    if (misses)
+        g_texbind_misses.fetch_add(misses, std::memory_order_relaxed);
 }
 
 void

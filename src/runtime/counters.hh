@@ -62,11 +62,41 @@ struct RuntimeCounters
     /** Leader-scan candidates that needed a full distance. */
     std::uint64_t leaderDistances = 0;
 
+    /** Draws flattened into work traces (buildWorkTrace rows). */
+    std::uint64_t workTraceDraws = 0;
+
+    /** ns spent building work traces (the compute-once pass). */
+    std::uint64_t workTraceBuildNs = 0;
+
+    /** Sweep-engine passes (retimeAll calls, either path). */
+    std::uint64_t sweepPasses = 0;
+
+    /** Configs evaluated across all sweep passes. */
+    std::uint64_t sweepConfigs = 0;
+
+    /** draw × config evaluations across all sweep passes. */
+    std::uint64_t sweepDrawsRetimed = 0;
+
+    /** ns spent inside retimeAll (the retime-many pass). */
+    std::uint64_t sweepRetimeNs = 0;
+
+    /** Bound-texture scans served from the memo (MemorySystem). */
+    std::uint64_t texBindHits = 0;
+
+    /** Bound-texture scans that walked the descriptors. */
+    std::uint64_t texBindMisses = 0;
+
     /** Fraction of draw-work lookups served by the memo cache. */
     double drawCacheHitRate() const;
 
     /** Fraction of k-means assignment decisions skipped by bounds. */
     double kmeansBoundsSkipRate() const;
+
+    /** Configs per sweep pass (averaged over passes). */
+    double sweepConfigsPerPass() const;
+
+    /** Draw × config evaluations per second of retime time. */
+    double sweepDrawsRetimedPerSec() const;
 };
 
 /** Current counter values. */
@@ -137,6 +167,16 @@ void noteKmeansBounds(std::uint64_t skipped, std::uint64_t fullScans);
 
 /** Record leader norm rejects / full distances (per point batch). */
 void noteLeaderScan(std::uint64_t rejects, std::uint64_t distances);
+
+/** Record one work-trace build: rows flattened and wall ns spent. */
+void noteWorkTraceBuild(std::uint64_t draws, std::uint64_t ns);
+
+/** Record one sweep pass: configs, draw × config count, wall ns. */
+void noteSweepPass(std::uint64_t configs, std::uint64_t drawsRetimed,
+                   std::uint64_t ns);
+
+/** Record bound-texture memo lookups (MemorySystem::drawTraffic). */
+void noteTexBindScan(std::uint64_t hits, std::uint64_t misses);
 
 /** Monotonic now() in ns (steady clock). */
 std::uint64_t nowNs();
