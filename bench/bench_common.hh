@@ -4,19 +4,35 @@
  * --scale=ci|paper (ci by default so running every bench binary in a
  * loop stays fast; paper regenerates the full 717-frame corpus) and
  * prints the rows/series of the paper table or figure it reproduces.
+ *
+ * Observability: --trace-out=<file> records a Chrome trace (load it in
+ * https://ui.perfetto.dev), --metrics-out=<file> exports the metrics
+ * registry, and --runtime-stats prints the counter report plus the
+ * span self-time rollup. Results JSON goes through BenchJsonWriter so
+ * every BENCH_<name>.json shares one envelope (bench name, git
+ * revision, thread count, wall time).
  */
 
 #ifndef GWS_BENCH_BENCH_COMMON_HH
 #define GWS_BENCH_BENCH_COMMON_HH
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "runtime/runtime.hh"
 #include "synth/suite.hh"
 #include "util/args.hh"
+#include "util/logging.hh"
+
+#ifndef GWS_GIT_DESCRIBE
+#define GWS_GIT_DESCRIBE "unknown"
+#endif
 
 namespace gws {
 
@@ -32,6 +48,18 @@ struct BenchContext
     /** The sampled characterization corpus. */
     std::vector<CorpusFrame> corpus;
 };
+
+/**
+ * Steady-clock origin of this bench process, pinned on first call
+ * (addThreadsOption() calls it at startup). The envelope's wall time
+ * is measured from here.
+ */
+inline std::uint64_t
+benchProcessT0()
+{
+    static const std::uint64_t t0 = runtime_detail::nowNs();
+    return t0;
+}
 
 /** Register the standard --scale option. */
 inline void
@@ -50,6 +78,7 @@ addScaleOption(ArgParser &args)
 inline void
 addThreadsOption(ArgParser &args)
 {
+    benchProcessT0(); // pin the envelope's wall-time origin early
     std::int64_t def = 0;
     if (const char *env = std::getenv("GWS_THREADS"))
         def = std::atoll(env);
@@ -58,9 +87,18 @@ addThreadsOption(ArgParser &args)
                 "(default from GWS_THREADS)");
     args.addFlag("runtime-stats",
                  "print parallel-runtime counters before exit");
+    args.addString("trace-out", "",
+                   "record a Chrome/Perfetto trace to this file");
+    args.addString("metrics-out", "",
+                   "export the metrics registry as JSON to this file");
 }
 
-/** Apply a parsed --threads value to the global runtime config. */
+/**
+ * Apply a parsed --threads value to the global runtime config and arm
+ * the --trace-out / --metrics-out exports (flushed by reportRuntime()
+ * or atexit). Recording starts here, so everything the bench does
+ * after option parsing lands in the trace.
+ */
 inline void
 applyThreadsOption(const ArgParser &args)
 {
@@ -68,14 +106,32 @@ applyThreadsOption(const ArgParser &args)
     const std::int64_t t = args.getInt("threads");
     cfg.threads = t <= 0 ? 0 : static_cast<std::size_t>(t);
     setRuntimeConfig(cfg);
+    obs::metricsRegistry().gauge("gws.threads")
+        .set(static_cast<double>(resolvedThreadCount()));
+
+    const std::string trace_out = args.getString("trace-out");
+    if (!trace_out.empty()) {
+        obs::setTraceOutputPath(trace_out);
+        if (!obs::traceEnabled())
+            obs::traceBegin();
+    }
+    const std::string metrics_out = args.getString("metrics-out");
+    if (!metrics_out.empty())
+        obs::setMetricsOutputPath(metrics_out);
 }
 
-/** Print the runtime counter report if --runtime-stats was given. */
+/**
+ * Print the runtime counter report and span rollup if --runtime-stats
+ * was given, then flush any armed --trace-out / --metrics-out files.
+ */
 inline void
 reportRuntime(const ArgParser &args)
 {
-    if (args.getFlag("runtime-stats"))
+    if (args.getFlag("runtime-stats")) {
         std::fputs(runtimeCountersReport().c_str(), stdout);
+        std::fputs(obs::traceRollupReport().c_str(), stdout);
+    }
+    obs::flushObservability();
 }
 
 /**
@@ -101,6 +157,120 @@ banner(const std::string &id, const std::string &what, SuiteScale scale)
     std::printf("=== %s — %s (scale: %s) ===\n", id.c_str(), what.c_str(),
                 toString(scale));
 }
+
+/**
+ * The one shared results writer: every bench_* binary funnels its
+ * headline numbers through this so all BENCH_<name>.json files carry
+ * the same envelope —
+ *
+ *   { "schema": "gws.bench.v1", "bench": ..., "git": ...,
+ *     "threads": N, "wall_ms": X, "results": { <bench fields> } }
+ *
+ * — and trajectories are comparable across benches and revisions.
+ * Fields keep insertion order. write() defaults to
+ * results/BENCH_<name>.json and creates results/ if needed.
+ */
+class BenchJsonWriter
+{
+  public:
+    /** Start an envelope for bench `name` (e.g. "micro_sweep"). */
+    explicit BenchJsonWriter(std::string name) : benchName(std::move(name))
+    {
+    }
+
+    /** Add an integer result field. */
+    void
+    setInt(const std::string &key, std::int64_t v)
+    {
+        fields.emplace_back(key, std::to_string(v));
+    }
+
+    /** Add an unsigned result field. */
+    void
+    setUint(const std::string &key, std::uint64_t v)
+    {
+        fields.emplace_back(key, std::to_string(v));
+    }
+
+    /** Add a floating-point result field (3 decimals). */
+    void
+    setDouble(const std::string &key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", v);
+        fields.emplace_back(key, buf);
+    }
+
+    /** Add a boolean result field. */
+    void
+    setBool(const std::string &key, bool v)
+    {
+        fields.emplace_back(key, v ? "true" : "false");
+    }
+
+    /** Add a string result field (escaped). */
+    void
+    setString(const std::string &key, const std::string &v)
+    {
+        fields.emplace_back(key, "\"" + obs::jsonEscape(v) + "\"");
+    }
+
+    /** Add a pre-rendered JSON value (arrays / nested objects). */
+    void
+    setRaw(const std::string &key, const std::string &json)
+    {
+        fields.emplace_back(key, json);
+    }
+
+    /**
+     * Write the envelope. Empty path = results/BENCH_<name>.json
+     * relative to the working directory. Returns false (after a
+     * warning) when the file cannot be created.
+     */
+    bool
+    write(const std::string &path = "") const
+    {
+        std::string out = path;
+        if (out.empty()) {
+            // Best-effort create of the default output directory.
+            ::mkdir("results", 0755);
+            out = "results/BENCH_" + benchName + ".json";
+        }
+        FILE *fp = std::fopen(out.c_str(), "w");
+        if (fp == nullptr) {
+            GWS_WARN("cannot write bench JSON to ", out);
+            return false;
+        }
+        const double wall_ms =
+            static_cast<double>(runtime_detail::nowNs() -
+                                benchProcessT0()) *
+            1e-6;
+        std::fprintf(fp,
+                     "{\n  \"schema\": \"gws.bench.v1\",\n"
+                     "  \"bench\": \"%s\",\n  \"git\": \"%s\",\n"
+                     "  \"threads\": %zu,\n  \"wall_ms\": %.3f,\n"
+                     "  \"results\": {",
+                     obs::jsonEscape(benchName).c_str(),
+                     obs::jsonEscape(GWS_GIT_DESCRIBE).c_str(),
+                     resolvedThreadCount(), wall_ms);
+        bool first = true;
+        for (const auto &[key, value] : fields) {
+            std::fprintf(fp, "%s\n    \"%s\": %s", first ? "" : ",",
+                         obs::jsonEscape(key).c_str(), value.c_str());
+            first = false;
+        }
+        std::fprintf(fp, "\n  }\n}\n");
+        std::fclose(fp);
+        std::printf("wrote %s\n", out.c_str());
+        return true;
+    }
+
+  private:
+    std::string benchName;
+
+    /** (key, pre-rendered JSON value) in insertion order. */
+    std::vector<std::pair<std::string, std::string>> fields;
+};
 
 } // namespace gws
 

@@ -42,8 +42,11 @@ main(int argc, char **argv)
     Table table({"game", "frames", "per-frame eff %", "temporal eff %",
                  "per-frame err %", "temporal err %",
                  "new clusters f0 / f1 / last"});
+    double temporal_eff_sum = 0.0, temporal_err_sum = 0.0;
     for (const auto &t : ctx.suite) {
         const TemporalReport tr = runTemporalSubsetting(t, sim, tcfg);
+        temporal_eff_sum += tr.efficiency();
+        temporal_err_sum += tr.meanFrameError();
 
         // Per-frame baseline over the same frames.
         CorpusPredictionReport pf;
@@ -70,6 +73,17 @@ main(int argc, char **argv)
     std::printf("\nclusters persist across frames, so representatives "
                 "are simulated once per playthrough — the paper's "
                 "per-frame efficiency is the floor, not the ceiling.\n");
+
+    const double games = static_cast<double>(ctx.suite.size());
+    BenchJsonWriter json("fig11_temporal");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setDouble("mean_temporal_efficiency_pct",
+                   100.0 * temporal_eff_sum / games);
+    json.setDouble("mean_temporal_err_pct",
+                   100.0 * temporal_err_sum / games);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -63,6 +63,13 @@ main(int argc, char **argv)
                 dcfg.power.switchedCapacitanceNf, dcfg.power.voltageAt1Ghz,
                 dcfg.power.voltageSlopePerGhz, dcfg.power.leakagePerVolt,
                 dcfg.power.dramPicojoulesPerByte, dcfg.power.boardWatts);
+
+    BenchJsonWriter json("fig12_energy");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setBool("optimum_within_one_step_all_games", all_agree);
+    json.write();
+
     reportRuntime(args);
     return all_agree ? 0 : 1;
 }

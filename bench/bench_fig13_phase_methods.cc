@@ -9,6 +9,8 @@
  * technique it adapts.
  */
 
+#include <algorithm>
+
 #include "bench/bench_common.hh"
 #include "core/freq_scaling.hh"
 #include "core/subset_pipeline.hh"
@@ -32,6 +34,8 @@ main(int argc, char **argv)
     const GpuSimulator sim(makeGpuPreset("baseline"));
     Table table({"game", "method", "phases", "subset %", "total err %",
                  "freq corr %"});
+    double err_sum[2] = {0.0, 0.0};
+    double min_corr[2] = {1.0, 1.0};
     for (const auto &t : ctx.suite) {
         for (PhaseMethod method :
              {PhaseMethod::ShaderVector, PhaseMethod::FeatureCluster}) {
@@ -49,6 +53,9 @@ main(int argc, char **argv)
             table.cellPercent(s.drawFraction(), 3);
             table.cellPercent(eval.relError(), 2);
             table.cell(fr.correlation * 100.0, 4);
+            const int m = method == PhaseMethod::ShaderVector ? 0 : 1;
+            err_sum[m] += eval.relError();
+            min_corr[m] = std::min(min_corr[m], fr.correlation);
         }
     }
     std::fputs(table.renderAscii().c_str(), stdout);
@@ -56,6 +63,19 @@ main(int argc, char **argv)
                 "need no feature extraction or clustering over the "
                 "whole playthrough and match phases exactly at level "
                 "granularity, which is the paper's point.\n");
+
+    const double games = static_cast<double>(ctx.suite.size());
+    BenchJsonWriter json("fig13_phase_methods");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setDouble("shader_vector_mean_err_pct",
+                   100.0 * err_sum[0] / games);
+    json.setDouble("feature_cluster_mean_err_pct",
+                   100.0 * err_sum[1] / games);
+    json.setDouble("shader_vector_min_corr_pct", min_corr[0] * 100.0);
+    json.setDouble("feature_cluster_min_corr_pct", min_corr[1] * 100.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -74,6 +74,14 @@ main(int argc, char **argv)
     std::printf("\ncross-game clusters show the corpus redundancy the "
                 "paper's motivation implies: different games render "
                 "frames that one representative can stand for.\n");
+
+    BenchJsonWriter json("fig14_suite_subset");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("subset_frames", chosen.frames.size());
+    json.setUint("corpus_frames", chosen.corpusFrames);
+    json.setUint("cross_game_clusters", chosen.crossGameClusters);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

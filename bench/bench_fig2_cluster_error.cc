@@ -73,6 +73,17 @@ main(int argc, char **argv)
                 "   [paper: 1.0%% error @ 65.8%% efficiency]\n",
                 overall.meanError * 100.0,
                 overall.meanEfficiency * 100.0);
+
+    BenchJsonWriter json("fig2_cluster_error");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("frames", overall.frames);
+    json.setUint("draws", overall.draws);
+    json.setDouble("mean_error_pct", overall.meanError * 100.0);
+    json.setDouble("max_error_pct", overall.maxError * 100.0);
+    json.setDouble("mean_efficiency_pct",
+                   overall.meanEfficiency * 100.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -77,6 +77,18 @@ main(int argc, char **argv)
                                      static_cast<double>(total_outliers) /
                                      static_cast<double>(total_clusters)
                                : 0.0);
+
+    BenchJsonWriter json("fig3_outliers");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("clusters", total_clusters);
+    json.setUint("outliers", total_outliers);
+    json.setDouble("outlier_pct",
+                   total_clusters
+                       ? 100.0 * static_cast<double>(total_outliers) /
+                             static_cast<double>(total_clusters)
+                       : 0.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

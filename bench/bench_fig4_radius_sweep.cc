@@ -142,6 +142,15 @@ main(int argc, char **argv)
                 agg.meanEfficiency * 100.0);
     std::printf("paper operating point: 1.0%% error @ 65.8%% "
                 "efficiency\n");
+
+    BenchJsonWriter json("fig4_radius_sweep");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("bic_reference_frames", sampled);
+    json.setDouble("bic_mean_error_pct", agg.meanError * 100.0);
+    json.setDouble("bic_mean_efficiency_pct",
+                   agg.meanEfficiency * 100.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -42,8 +42,12 @@ main(int argc, char **argv)
 
     Table table({"game", "intervals", "phases", "recurring",
                  "rep fraction %", "timeline"});
+    std::size_t total_phases = 0, total_intervals = 0, recurring = 0;
     for (const auto &t : ctx.suite) {
         const PhaseTimeline tl = detectPhases(t, cfg);
+        total_phases += tl.phaseCount;
+        total_intervals += tl.intervals.size();
+        recurring += tl.hasRecurringPhase() ? 1 : 0;
         std::string strip;
         for (const auto &iv : tl.intervals)
             strip.push_back(phaseLetter(iv.phaseId));
@@ -77,6 +81,15 @@ main(int argc, char **argv)
     std::fputs(sens.renderAscii().c_str(), stdout);
     std::printf("\npaper: phases exist in each BioShock-series game "
                 "(recurring = yes for shock1/shock2/shockinf)\n");
+
+    BenchJsonWriter json("fig5_phases");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setUint("total_phases", total_phases);
+    json.setUint("total_intervals", total_intervals);
+    json.setUint("games_with_recurring_phase", recurring);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -48,6 +48,14 @@ main(int argc, char **argv)
     std::printf("\nworst subset fraction: %.3f%%   [paper: < 1%% of the "
                 "parent workload; holds at paper scale]\n",
                 worst_fraction * 100.0);
+
+    BenchJsonWriter json("fig6_subset_size");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setDouble("worst_subset_fraction_pct",
+                   worst_fraction * 100.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

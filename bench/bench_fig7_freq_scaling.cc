@@ -62,6 +62,13 @@ main(int argc, char **argv)
     std::printf("\nminimum correlation across games: %.4f%%   "
                 "[paper: 99.7%%+]\n",
                 min_corr * 100.0);
+
+    BenchJsonWriter json("fig7_freq_scaling");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setDouble("min_correlation_pct", min_corr * 100.0);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

@@ -61,6 +61,14 @@ main(int argc, char **argv)
                 all_preserved ? "yes" : "NO", min_corr * 100.0);
     std::printf("design points: baseline, wide (2x cores), fastmem "
                 "(1.6x memory clock), bigcache (4x L2), mobile\n");
+
+    BenchJsonWriter json("fig9_pathfinding");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("designs", designs.size());
+    json.setBool("all_rankings_preserved", all_preserved);
+    json.setDouble("min_speedup_correlation_pct", min_corr * 100.0);
+    json.write();
+
     reportRuntime(args);
     return all_preserved ? 0 : 1;
 }

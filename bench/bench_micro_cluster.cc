@@ -89,8 +89,9 @@ main(int argc, char **argv)
     args.addInt("n", 100000, "number of synthetic feature points");
     args.addInt("k", 64, "k-means cluster count");
     args.addInt("repeats", 3, "timed repetitions per variant");
-    args.addString("out", "BENCH_micro_cluster.json",
-                   "JSON output path (empty = skip)");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_cluster.json, empty = skip)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -194,26 +195,18 @@ main(int argc, char **argv)
 
     const std::string out = args.getString("out");
     if (!out.empty()) {
-        FILE *fp = std::fopen(out.c_str(), "w");
-        if (fp == nullptr)
-            GWS_FATAL("cannot write ", out);
-        std::fprintf(
-            fp,
-            "{\n  \"bench\": \"micro_cluster\",\n"
-            "  \"n\": %zu,\n  \"k\": %zu,\n"
-            "  \"kmeans_naive_ms\": %.3f,\n"
-            "  \"kmeans_fast_ms\": %.3f,\n"
-            "  \"kmeans_speedup\": %.3f,\n"
-            "  \"kmeans_bit_identical\": %s,\n"
-            "  \"kmeans_bounds_skip_rate\": %.4f,\n"
-            "  \"leader_ms\": %.3f,\n"
-            "  \"leader_norm_reject_rate\": %.4f,\n"
-            "  \"leader_k\": %zu\n}\n",
-            n, k, naive_ms, fast_ms, kmeans_speedup,
-            bit_identical ? "true" : "false", bounds_skip_rate,
-            leader_ms, norm_reject_rate, leader_k);
-        std::fclose(fp);
-        std::printf("wrote %s\n", out.c_str());
+        BenchJsonWriter json("micro_cluster");
+        json.setUint("n", n);
+        json.setUint("k", k);
+        json.setDouble("kmeans_naive_ms", naive_ms);
+        json.setDouble("kmeans_fast_ms", fast_ms);
+        json.setDouble("kmeans_speedup", kmeans_speedup);
+        json.setBool("kmeans_bit_identical", bit_identical);
+        json.setDouble("kmeans_bounds_skip_rate", bounds_skip_rate);
+        json.setDouble("leader_ms", leader_ms);
+        json.setDouble("leader_norm_reject_rate", norm_reject_rate);
+        json.setUint("leader_k", leader_k);
+        json.write(out == "default" ? "" : out);
     }
 
     reportRuntime(args);

@@ -51,8 +51,9 @@ main(int argc, char **argv)
     addScaleOption(args);
     addThreadsOption(args);
     args.addInt("repeats", 3, "timed repetitions per thread count");
-    args.addString("out", "BENCH_micro_runtime.json",
-                   "JSON output path (empty = skip)");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_runtime.json, empty = skip)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -117,25 +118,23 @@ main(int argc, char **argv)
 
     const std::string out = args.getString("out");
     if (!out.empty()) {
-        FILE *fp = std::fopen(out.c_str(), "w");
-        if (fp == nullptr)
-            GWS_FATAL("cannot write ", out);
-        std::fprintf(fp,
-                     "{\n  \"bench\": \"micro_runtime\",\n"
-                     "  \"scale\": \"%s\",\n"
-                     "  \"hardware_threads\": %zu,\n"
-                     "  \"deterministic\": %s,\n  \"points\": [\n",
-                     toString(scale), hardwareThreads(),
-                     deterministic ? "true" : "false");
-        for (std::size_t s = 0; s < sweep.size(); ++s)
-            std::fprintf(fp,
-                         "    {\"threads\": %zu, \"wall_ms\": %.3f, "
-                         "\"speedup\": %.3f}%s\n",
-                         sweep[s], best_ms[s], best_ms[0] / best_ms[s],
-                         s + 1 < sweep.size() ? "," : "");
-        std::fprintf(fp, "  ]\n}\n");
-        std::fclose(fp);
-        std::printf("wrote %s\n", out.c_str());
+        BenchJsonWriter json("micro_runtime");
+        json.setString("scale", toString(scale));
+        json.setUint("hardware_threads", hardwareThreads());
+        json.setBool("deterministic", deterministic);
+        std::string points = "[";
+        for (std::size_t s = 0; s < sweep.size(); ++s) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"threads\": %zu, \"wall_ms\": %.3f, "
+                          "\"speedup\": %.3f}",
+                          s == 0 ? "" : ", ", sweep[s], best_ms[s],
+                          best_ms[0] / best_ms[s]);
+            points += buf;
+        }
+        points += "]";
+        json.setRaw("points", points);
+        json.write(out == "default" ? "" : out);
     }
 
     reportRuntime(args);

@@ -12,7 +12,8 @@
  * histograms — and reports the single-thread speedup, the acceptance
  * number for the sweep-engine work, plus the engine's parallel
  * scaling at the requested thread count. Results land in
- * BENCH_micro_sweep.json so the trajectory is tracked run over run.
+ * results/BENCH_micro_sweep.json (shared envelope) so the trajectory
+ * is tracked run over run.
  */
 
 #include <algorithm>
@@ -85,8 +86,9 @@ main(int argc, char **argv)
     args.addInt("draws", 50000, "target draw-call count of the trace");
     args.addInt("configs", 16, "clock points in the sweep");
     args.addInt("repeats", 3, "timed repetitions per variant");
-    args.addString("out", "BENCH_micro_sweep.json",
-                   "JSON output path (empty = skip)");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_sweep.json, empty = skip)");
     if (!args.parse(argc, argv))
         return 0;
 
@@ -187,27 +189,19 @@ main(int argc, char **argv)
 
     const std::string out = args.getString("out");
     if (!out.empty()) {
-        FILE *fp = std::fopen(out.c_str(), "w");
-        if (fp == nullptr)
-            GWS_FATAL("cannot write ", out);
-        std::fprintf(
-            fp,
-            "{\n  \"bench\": \"micro_sweep\",\n"
-            "  \"draws\": %zu,\n  \"frames\": %zu,\n"
-            "  \"configs\": %zu,\n"
-            "  \"work_trace_build_ms\": %.3f,\n"
-            "  \"naive_ms\": %.3f,\n"
-            "  \"engine_single_thread_ms\": %.3f,\n"
-            "  \"engine_parallel_ms\": %.3f,\n"
-            "  \"single_thread_speedup\": %.3f,\n"
-            "  \"parallel_speedup\": %.3f,\n"
-            "  \"retime_mdraw_configs_per_s\": %.3f,\n"
-            "  \"bit_identical\": %s\n}\n",
-            wt.drawCount(), wt.groupCount(), n_cfg, build_ms, naive_ms,
-            engine1_ms, engine_ms, single_speedup, naive_ms / engine_ms,
-            retime_rate, bit_identical ? "true" : "false");
-        std::fclose(fp);
-        std::printf("wrote %s\n", out.c_str());
+        BenchJsonWriter json("micro_sweep");
+        json.setUint("draws", wt.drawCount());
+        json.setUint("frames", wt.groupCount());
+        json.setUint("configs", n_cfg);
+        json.setDouble("work_trace_build_ms", build_ms);
+        json.setDouble("naive_ms", naive_ms);
+        json.setDouble("engine_single_thread_ms", engine1_ms);
+        json.setDouble("engine_parallel_ms", engine_ms);
+        json.setDouble("single_thread_speedup", single_speedup);
+        json.setDouble("parallel_speedup", naive_ms / engine_ms);
+        json.setDouble("retime_mdraw_configs_per_s", retime_rate);
+        json.setBool("bit_identical", bit_identical);
+        json.write(out == "default" ? "" : out);
     }
 
     reportRuntime(args);

@@ -52,6 +52,16 @@ main(int argc, char **argv)
                 "   [paper: 717 frames, 828K draws]\n",
                 ctx.corpus.size(),
                 humanCount(static_cast<double>(corpus_draws)).c_str());
+
+    BenchJsonWriter json("table1_workloads");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setUint("frames", total_frames);
+    json.setUint("draws", total_draws);
+    json.setUint("corpus_frames", ctx.corpus.size());
+    json.setUint("corpus_draws", corpus_draws);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

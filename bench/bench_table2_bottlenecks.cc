@@ -39,6 +39,7 @@ main(int argc, char **argv)
     headers.push_back("dominant");
     Table table(headers);
 
+    std::string dominant_json = "[";
     for (const auto &t : ctx.suite) {
         const BottleneckProfile p = profileTrace(sim, t);
         table.newRow();
@@ -46,12 +47,25 @@ main(int argc, char **argv)
         for (Stage s : shown)
             table.cellPercent(p.timeShare(s), 1);
         table.cell(std::string(toString(p.dominant())));
+        if (dominant_json.size() > 1)
+            dominant_json += ", ";
+        dominant_json += "{\"game\": \"" + t.name() +
+                         "\", \"dominant\": \"" +
+                         std::string(toString(p.dominant())) + "\"}";
     }
+    dominant_json += "]";
     std::fputs(table.renderAscii().c_str(), stdout);
     std::printf("\ncolumns are the share of total draw time whose "
                 "bottleneck is that stage; the 'dram %%' column is the "
                 "memory-bound time core-frequency scaling cannot "
                 "improve (see F7's sublinear curves).\n");
+
+    BenchJsonWriter json("table2_bottlenecks");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("games", ctx.suite.size());
+    json.setRaw("dominant", dominant_json);
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

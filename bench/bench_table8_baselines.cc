@@ -88,6 +88,14 @@ main(int argc, char **argv)
 
     std::printf("\nclustering on micro-architecture-independent features "
                 "beats every similarity-blind selector at equal budget.\n");
+
+    BenchJsonWriter json("table8_baselines");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("frames", n_total);
+    json.setDouble("clustering_mean_err_pct",
+                   100.0 * c_total / static_cast<double>(n_total));
+    json.write();
+
     reportRuntime(args);
     return 0;
 }

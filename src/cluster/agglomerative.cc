@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "cluster/feature_matrix.hh"
+#include "runtime/counters.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -34,6 +35,7 @@ agglomerativeCluster(const std::vector<FeatureVector> &points,
 {
     GWS_ASSERT(!points.empty(), "agglomerative on an empty point set");
     GWS_ASSERT(config.distanceThreshold >= 0.0, "negative threshold");
+    ScopedRegion region("cluster.agglomerative");
     const std::size_t n = points.size();
     const std::size_t target =
         config.targetK > 0 ? std::min(config.targetK, n) : 1;

@@ -259,6 +259,7 @@ runLloydNaive(const std::vector<FeatureVector> &points, std::size_t k,
 
     for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
         ++run.iterations;
+        obs::SpanScope iterSpan("cluster.kmeans.iter");
         // Assignment: each point's nearest centroid is independent of
         // every other point's, so the O(n k) scan fans out; writes go
         // to distinct indices and the only shared state is the
@@ -330,6 +331,7 @@ runLloydFast(const FeatureMatrix &matrix,
 
     for (std::size_t iter = 0; iter < config.maxIterations; ++iter) {
         ++run.iterations;
+        obs::SpanScope iterSpan("cluster.kmeans.iter");
 
         // Half-distance from each centroid to its nearest neighbour
         // centroid: any point closer to its centroid than this cannot

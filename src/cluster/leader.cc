@@ -28,6 +28,7 @@ leaderCluster(const std::vector<FeatureVector> &points,
 {
     GWS_ASSERT(!points.empty(), "leader clustering on an empty point set");
     GWS_ASSERT(config.radius >= 0.0, "negative radius: ", config.radius);
+    ScopedRegion region("cluster.leader");
     const double r2 = config.radius * config.radius;
     const std::size_t n = points.size();
 

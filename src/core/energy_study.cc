@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/counters.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -21,6 +22,7 @@ runDvfsStudy(const Trace &trace, const WorkloadSubset &subset,
 {
     GWS_ASSERT(!config.scales.empty(), "empty DVFS sweep");
     config.power.validate();
+    ScopedRegion region("core.runDvfsStudy");
 
     // --- compute once: flatten parent and subset work ---------------------
     // DRAM traffic is clock-independent, so both totals come straight

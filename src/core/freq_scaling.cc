@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "runtime/counters.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -14,6 +15,7 @@ runFreqScaling(const Trace &trace, const WorkloadSubset &subset,
     GWS_ASSERT(!config.scales.empty(), "empty clock sweep");
     GWS_ASSERT(config.baselineIndex < config.scales.size(),
                "baseline index out of range");
+    ScopedRegion region("core.runFreqScaling");
 
     FreqScalingResult result;
     result.scales = config.scales;

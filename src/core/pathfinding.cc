@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "gpusim/draw_work_cache.hh"
+#include "runtime/counters.hh"
 #include "util/logging.hh"
 #include "util/stats.hh"
 
@@ -76,6 +77,7 @@ runPathfinding(const Trace &trace, const WorkloadSubset &subset,
 {
     GWS_ASSERT(designs.size() >= 2,
                "pathfinding needs at least two design points");
+    ScopedRegion region("core.runPathfinding");
 
     std::vector<double> parent_costs;
     if (sweepUsesNaivePath(path)) {

@@ -82,6 +82,7 @@ retimeNaive(const WorkTrace &wt, std::span<const GpuConfig> configs,
 {
     const std::size_t groups = wt.groupCount();
     for (std::size_t c = 0; c < configs.size(); ++c) {
+        obs::SpanScope cfgSpan("retime " + configs[c].name);
         const GpuSimulator sim(configs[c]);
         const double overhead = sim.config().frameOverheadUs * 1e3;
         for (std::size_t g = 0; g < groups; ++g) {
@@ -436,6 +437,7 @@ retimeEngine(const WorkTrace &wt, std::span<const GpuConfig> configs,
              SweepResult &result, std::vector<double> &group_hist_ns,
              std::vector<std::uint64_t> &group_hist_count)
 {
+    obs::SpanScope span("core.retimeAll.engine");
     const HoistedConfigs h(configs);
     if (clockOnlySweep(h))
         retimeEngineClocked(wt, configs, h, config, per_draw, result,

@@ -180,6 +180,7 @@ GpuSimulator::simulateFrame(const Trace &trace, const Frame &frame) const
     const auto &draws = frame.draws();
     const std::size_t n = draws.size();
 
+    obs::SpanScope span("gpusim.simulateFrame");
     FrameCost fc;
     fc.frameIndex = frame.index();
     fc.drawNs.resize(n);

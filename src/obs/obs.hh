@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Umbrella header for the observability layer: span tracer (trace.hh)
+ * plus metrics registry (metrics.hh).
+ */
+
+#ifndef GWS_OBS_OBS_HH
+#define GWS_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+#endif // GWS_OBS_OBS_HH

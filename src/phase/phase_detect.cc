@@ -1,5 +1,7 @@
 #include "phase/phase_detect.hh"
 
+#include "runtime/counters.hh"
+
 #include "util/logging.hh"
 
 namespace gws {
@@ -50,6 +52,7 @@ detectPhases(const Trace &trace, const PhaseConfig &config)
     GWS_ASSERT(config.similarityThreshold > 0.0 &&
                    config.similarityThreshold <= 1.0,
                "similarity threshold out of (0,1]");
+    ScopedRegion region("phase.detect");
 
     const std::size_t universe = trace.shaders().size();
     PhaseTimeline timeline;

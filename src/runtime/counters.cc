@@ -1,78 +1,107 @@
 #include "runtime/counters.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <map>
-#include <mutex>
 #include <sstream>
+
+#include "obs/metrics.hh"
 
 namespace gws {
 
 namespace {
 
-std::atomic<std::uint64_t> g_parallel_regions{0};
-std::atomic<std::uint64_t> g_inline_regions{0};
-std::atomic<std::uint64_t> g_chunks{0};
-std::atomic<std::uint64_t> g_tasks{0};
-std::atomic<std::uint64_t> g_submitter_wait_ns{0};
-std::atomic<std::uint64_t> g_worker_idle_ns{0};
-std::atomic<std::uint64_t> g_draw_cache_hits{0};
-std::atomic<std::uint64_t> g_draw_cache_misses{0};
-std::atomic<std::uint64_t> g_kmeans_bounds_skipped{0};
-std::atomic<std::uint64_t> g_kmeans_full_scans{0};
-std::atomic<std::uint64_t> g_leader_norm_rejects{0};
-std::atomic<std::uint64_t> g_leader_distances{0};
-std::atomic<std::uint64_t> g_worktrace_draws{0};
-std::atomic<std::uint64_t> g_worktrace_build_ns{0};
-std::atomic<std::uint64_t> g_sweep_passes{0};
-std::atomic<std::uint64_t> g_sweep_configs{0};
-std::atomic<std::uint64_t> g_sweep_draws_retimed{0};
-std::atomic<std::uint64_t> g_sweep_retime_ns{0};
-std::atomic<std::uint64_t> g_texbind_hits{0};
-std::atomic<std::uint64_t> g_texbind_misses{0};
+using obs::Counter;
+using obs::metricsRegistry;
 
-struct RegionAccum
+/** Registry prefix under which ScopedRegion histograms live. */
+constexpr const char *kRegionPrefix = "region.";
+
+/**
+ * Stable handles to the registry-backed legacy counters. Registered
+ * eagerly (see g_legacy_registered) so every RuntimeCounters field is
+ * present in `--metrics-out` even when it never fired.
+ */
+struct LegacyCounters
 {
-    std::uint64_t ns = 0;
-    std::uint64_t count = 0;
+    Counter &parallelRegions;
+    Counter &inlineRegions;
+    Counter &chunksExecuted;
+    Counter &tasksSubmitted;
+    Counter &submitterWaitNs;
+    Counter &workerIdleNs;
+    Counter &drawCacheHits;
+    Counter &drawCacheMisses;
+    Counter &kmeansBoundsSkipped;
+    Counter &kmeansFullScans;
+    Counter &leaderNormRejects;
+    Counter &leaderDistances;
+    Counter &workTraceDraws;
+    Counter &workTraceBuildNs;
+    Counter &sweepPasses;
+    Counter &sweepConfigs;
+    Counter &sweepDrawsRetimed;
+    Counter &sweepRetimeNs;
+    Counter &texBindHits;
+    Counter &texBindMisses;
 };
 
-std::mutex g_region_mutex;
-
-std::map<std::string, RegionAccum> &
-regionMap()
+LegacyCounters &
+legacy()
 {
-    static std::map<std::string, RegionAccum> m;
-    return m;
+    static LegacyCounters c{
+        metricsRegistry().counter("runtime.parallelRegions"),
+        metricsRegistry().counter("runtime.inlineRegions"),
+        metricsRegistry().counter("runtime.chunksExecuted"),
+        metricsRegistry().counter("runtime.tasksSubmitted"),
+        metricsRegistry().counter("runtime.submitterWaitNs"),
+        metricsRegistry().counter("runtime.workerIdleNs"),
+        metricsRegistry().counter("gpusim.drawCache.hits"),
+        metricsRegistry().counter("gpusim.drawCache.misses"),
+        metricsRegistry().counter("cluster.kmeans.boundsSkipped"),
+        metricsRegistry().counter("cluster.kmeans.fullScans"),
+        metricsRegistry().counter("cluster.leader.normRejects"),
+        metricsRegistry().counter("cluster.leader.distances"),
+        metricsRegistry().counter("gpusim.workTrace.draws"),
+        metricsRegistry().counter("gpusim.workTrace.buildNs"),
+        metricsRegistry().counter("core.sweep.passes"),
+        metricsRegistry().counter("core.sweep.configs"),
+        metricsRegistry().counter("core.sweep.drawsRetimed"),
+        metricsRegistry().counter("core.sweep.retimeNs"),
+        metricsRegistry().counter("gpusim.texBind.hits"),
+        metricsRegistry().counter("gpusim.texBind.misses"),
+    };
+    return c;
 }
+
+const bool g_legacy_registered = (legacy(), true);
 
 } // namespace
 
 RuntimeCounters
 runtimeCounters()
 {
+    const LegacyCounters &l = legacy();
     RuntimeCounters c;
-    c.parallelRegions = g_parallel_regions.load();
-    c.inlineRegions = g_inline_regions.load();
-    c.chunksExecuted = g_chunks.load();
-    c.tasksSubmitted = g_tasks.load();
-    c.submitterWaitNs = g_submitter_wait_ns.load();
-    c.workerIdleNs = g_worker_idle_ns.load();
-    c.drawCacheHits = g_draw_cache_hits.load();
-    c.drawCacheMisses = g_draw_cache_misses.load();
-    c.kmeansBoundsSkipped = g_kmeans_bounds_skipped.load();
-    c.kmeansFullScans = g_kmeans_full_scans.load();
-    c.leaderNormRejects = g_leader_norm_rejects.load();
-    c.leaderDistances = g_leader_distances.load();
-    c.workTraceDraws = g_worktrace_draws.load();
-    c.workTraceBuildNs = g_worktrace_build_ns.load();
-    c.sweepPasses = g_sweep_passes.load();
-    c.sweepConfigs = g_sweep_configs.load();
-    c.sweepDrawsRetimed = g_sweep_draws_retimed.load();
-    c.sweepRetimeNs = g_sweep_retime_ns.load();
-    c.texBindHits = g_texbind_hits.load();
-    c.texBindMisses = g_texbind_misses.load();
+    c.parallelRegions = l.parallelRegions.value();
+    c.inlineRegions = l.inlineRegions.value();
+    c.chunksExecuted = l.chunksExecuted.value();
+    c.tasksSubmitted = l.tasksSubmitted.value();
+    c.submitterWaitNs = l.submitterWaitNs.value();
+    c.workerIdleNs = l.workerIdleNs.value();
+    c.drawCacheHits = l.drawCacheHits.value();
+    c.drawCacheMisses = l.drawCacheMisses.value();
+    c.kmeansBoundsSkipped = l.kmeansBoundsSkipped.value();
+    c.kmeansFullScans = l.kmeansFullScans.value();
+    c.leaderNormRejects = l.leaderNormRejects.value();
+    c.leaderDistances = l.leaderDistances.value();
+    c.workTraceDraws = l.workTraceDraws.value();
+    c.workTraceBuildNs = l.workTraceBuildNs.value();
+    c.sweepPasses = l.sweepPasses.value();
+    c.sweepConfigs = l.sweepConfigs.value();
+    c.sweepDrawsRetimed = l.sweepDrawsRetimed.value();
+    c.sweepRetimeNs = l.sweepRetimeNs.value();
+    c.texBindHits = l.texBindHits.value();
+    c.texBindMisses = l.texBindMisses.value();
     return c;
 }
 
@@ -116,38 +145,28 @@ RuntimeCounters::kmeansBoundsSkipRate() const
 void
 resetRuntimeCounters()
 {
-    g_parallel_regions = 0;
-    g_inline_regions = 0;
-    g_chunks = 0;
-    g_tasks = 0;
-    g_submitter_wait_ns = 0;
-    g_worker_idle_ns = 0;
-    g_draw_cache_hits = 0;
-    g_draw_cache_misses = 0;
-    g_kmeans_bounds_skipped = 0;
-    g_kmeans_full_scans = 0;
-    g_leader_norm_rejects = 0;
-    g_leader_distances = 0;
-    g_worktrace_draws = 0;
-    g_worktrace_build_ns = 0;
-    g_sweep_passes = 0;
-    g_sweep_configs = 0;
-    g_sweep_draws_retimed = 0;
-    g_sweep_retime_ns = 0;
-    g_texbind_hits = 0;
-    g_texbind_misses = 0;
-    std::lock_guard<std::mutex> lock(g_region_mutex);
-    regionMap().clear();
+    // The legacy counters live under subsystem prefixes; reset each
+    // family plus the ScopedRegion histograms, leaving unrelated
+    // metrics (gws.warnings, bench gauges, ...) untouched.
+    obs::MetricsRegistry &reg = metricsRegistry();
+    reg.resetPrefix("runtime.");
+    reg.resetPrefix("gpusim.");
+    reg.resetPrefix("cluster.");
+    reg.resetPrefix("core.");
+    reg.resetPrefix(kRegionPrefix);
 }
 
 std::vector<RegionStat>
 runtimeRegionStats()
 {
     std::vector<RegionStat> out;
-    {
-        std::lock_guard<std::mutex> lock(g_region_mutex);
-        for (const auto &[name, acc] : regionMap())
-            out.push_back(RegionStat{name, acc.ns, acc.count});
+    for (const obs::MetricSnapshot &row :
+         metricsRegistry().snapshotPrefix(kRegionPrefix)) {
+        if (row.histCount == 0)
+            continue;
+        out.push_back(
+            RegionStat{row.name.substr(std::string(kRegionPrefix).size()),
+                       row.histSum, row.histCount});
     }
     std::sort(out.begin(), out.end(),
               [](const RegionStat &a, const RegionStat &b) {
@@ -157,17 +176,16 @@ runtimeRegionStats()
 }
 
 ScopedRegion::ScopedRegion(const char *name)
-    : regionName(name), startNs(runtime_detail::nowNs())
+    : span(name), regionName(name), startNs(runtime_detail::nowNs())
 {
 }
 
 ScopedRegion::~ScopedRegion()
 {
     const std::uint64_t elapsed = runtime_detail::nowNs() - startNs;
-    std::lock_guard<std::mutex> lock(g_region_mutex);
-    RegionAccum &acc = regionMap()[regionName];
-    acc.ns += elapsed;
-    ++acc.count;
+    metricsRegistry()
+        .histogram(std::string(kRegionPrefix) + regionName)
+        .record(elapsed);
 }
 
 std::string
@@ -219,86 +237,89 @@ namespace runtime_detail {
 void
 noteParallelRegion(std::size_t chunks, std::size_t tasks)
 {
-    g_parallel_regions.fetch_add(1, std::memory_order_relaxed);
-    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
-    g_tasks.fetch_add(tasks, std::memory_order_relaxed);
+    LegacyCounters &l = legacy();
+    l.parallelRegions.increment();
+    l.chunksExecuted.add(chunks);
+    l.tasksSubmitted.add(tasks);
 }
 
 void
 noteInlineRegion(std::size_t chunks)
 {
-    g_inline_regions.fetch_add(1, std::memory_order_relaxed);
-    g_chunks.fetch_add(chunks, std::memory_order_relaxed);
+    LegacyCounters &l = legacy();
+    l.inlineRegions.increment();
+    l.chunksExecuted.add(chunks);
 }
 
 void
 noteSubmitterWait(std::uint64_t ns)
 {
-    g_submitter_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+    legacy().submitterWaitNs.add(ns);
 }
 
 void
 noteWorkerIdle(std::uint64_t ns)
 {
-    g_worker_idle_ns.fetch_add(ns, std::memory_order_relaxed);
+    legacy().workerIdleNs.add(ns);
 }
 
 void
 noteDrawCache(std::uint64_t hits, std::uint64_t misses)
 {
+    LegacyCounters &l = legacy();
     if (hits)
-        g_draw_cache_hits.fetch_add(hits, std::memory_order_relaxed);
+        l.drawCacheHits.add(hits);
     if (misses)
-        g_draw_cache_misses.fetch_add(misses, std::memory_order_relaxed);
+        l.drawCacheMisses.add(misses);
 }
 
 void
 noteWorkTraceBuild(std::uint64_t draws, std::uint64_t ns)
 {
-    g_worktrace_draws.fetch_add(draws, std::memory_order_relaxed);
-    g_worktrace_build_ns.fetch_add(ns, std::memory_order_relaxed);
+    LegacyCounters &l = legacy();
+    l.workTraceDraws.add(draws);
+    l.workTraceBuildNs.add(ns);
 }
 
 void
 noteSweepPass(std::uint64_t configs, std::uint64_t drawsRetimed,
               std::uint64_t ns)
 {
-    g_sweep_passes.fetch_add(1, std::memory_order_relaxed);
-    g_sweep_configs.fetch_add(configs, std::memory_order_relaxed);
-    g_sweep_draws_retimed.fetch_add(drawsRetimed,
-                                    std::memory_order_relaxed);
-    g_sweep_retime_ns.fetch_add(ns, std::memory_order_relaxed);
+    LegacyCounters &l = legacy();
+    l.sweepPasses.increment();
+    l.sweepConfigs.add(configs);
+    l.sweepDrawsRetimed.add(drawsRetimed);
+    l.sweepRetimeNs.add(ns);
 }
 
 void
 noteTexBindScan(std::uint64_t hits, std::uint64_t misses)
 {
+    LegacyCounters &l = legacy();
     if (hits)
-        g_texbind_hits.fetch_add(hits, std::memory_order_relaxed);
+        l.texBindHits.add(hits);
     if (misses)
-        g_texbind_misses.fetch_add(misses, std::memory_order_relaxed);
+        l.texBindMisses.add(misses);
 }
 
 void
 noteKmeansBounds(std::uint64_t skipped, std::uint64_t fullScans)
 {
+    LegacyCounters &l = legacy();
     if (skipped)
-        g_kmeans_bounds_skipped.fetch_add(skipped,
-                                          std::memory_order_relaxed);
+        l.kmeansBoundsSkipped.add(skipped);
     if (fullScans)
-        g_kmeans_full_scans.fetch_add(fullScans,
-                                      std::memory_order_relaxed);
+        l.kmeansFullScans.add(fullScans);
 }
 
 void
 noteLeaderScan(std::uint64_t rejects, std::uint64_t distances)
 {
+    LegacyCounters &l = legacy();
     if (rejects)
-        g_leader_norm_rejects.fetch_add(rejects,
-                                        std::memory_order_relaxed);
+        l.leaderNormRejects.add(rejects);
     if (distances)
-        g_leader_distances.fetch_add(distances,
-                                     std::memory_order_relaxed);
+        l.leaderDistances.add(distances);
 }
 
 std::uint64_t

@@ -7,10 +7,17 @@
  * run (`--runtime-stats`); tests use the counters to assert that a
  * code path actually went parallel (or did not).
  *
+ * This header is now a *compatibility shim* over the obs layer: every
+ * RuntimeCounters field lives in the process-global MetricsRegistry
+ * (src/obs/metrics.hh) under a stable name, so `--metrics-out` exports
+ * them on the shared schema, and ScopedRegion both records a
+ * `region.<name>` latency histogram and opens a trace span when the
+ * tracer is on. The snapshot / reset / report API below is unchanged.
+ *
  * Counters are process-global and monotone; resetRuntimeCounters()
- * zeroes them between bench phases. All updates are atomic / mutex
- * protected and cheap enough to stay enabled in release builds — one
- * update per *chunk*, never per element.
+ * zeroes them between bench phases. All updates are atomic and cheap
+ * enough to stay enabled in release builds — one update per *chunk*,
+ * never per element.
  */
 
 #ifndef GWS_RUNTIME_COUNTERS_HH
@@ -20,6 +27,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hh"
 
 namespace gws {
 
@@ -123,7 +132,9 @@ std::vector<RegionStat> runtimeRegionStats();
 
 /**
  * RAII wall-clock timer for a named region. Name must be a string
- * literal (the registry stores the pointer's contents once).
+ * literal (the registry stores the pointer's contents once). Each
+ * entry records into the `region.<name>` latency histogram and, when
+ * the tracer is enabled, opens a trace span of the same name.
  */
 class ScopedRegion
 {
@@ -138,6 +149,7 @@ class ScopedRegion
     ScopedRegion &operator=(const ScopedRegion &) = delete;
 
   private:
+    obs::SpanScope span;
     const char *regionName;
     std::uint64_t startNs;
 };

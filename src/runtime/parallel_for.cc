@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.hh"
 #include "runtime/counters.hh"
 #include "runtime/thread_pool.hh"
 
@@ -27,6 +28,9 @@ struct FanOut
     std::size_t grain = 1;
     std::size_t chunks = 0;
     std::function<void(std::size_t, std::size_t)> body;
+
+    /** Trace flow id linking the submitter to its chunks (0 = off). */
+    std::uint64_t flowId = 0;
 
     /** Next chunk to claim. */
     std::atomic<std::size_t> next{0};
@@ -52,6 +56,7 @@ struct FanOut
             const std::size_t b = begin + c * grain;
             const std::size_t e = std::min(end, b + grain);
             try {
+                obs::SpanScope chunkSpan("runtime.chunk", flowId);
                 body(b, e);
             } catch (...) {
                 errors[c] = std::current_exception();
@@ -104,6 +109,10 @@ parallelChunks(std::size_t begin, std::size_t end, std::size_t grain,
     fan->chunks = chunks;
     fan->body = body;
     fan->errors.resize(chunks);
+    if (obs::traceEnabled()) {
+        fan->flowId = obs::traceNewFlowId();
+        obs::traceFlowStart("parallelFor", fan->flowId);
+    }
 
     // One helper per extra thread that can hold a chunk; the caller
     // is the remaining worker.

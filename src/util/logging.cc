@@ -10,6 +10,8 @@ namespace {
 
 std::atomic<int> warnCounter{0};
 
+std::atomic<detail::WarnObserver> warnObserver{nullptr};
+
 } // namespace
 
 namespace detail {
@@ -35,6 +37,16 @@ warnImpl(const std::string &msg)
 {
     warnCounter.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (WarnObserver observer =
+            warnObserver.load(std::memory_order_acquire)) {
+        observer(msg.c_str());
+    }
+}
+
+void
+setWarnObserver(WarnObserver observer)
+{
+    warnObserver.store(observer, std::memory_order_release);
 }
 
 void

@@ -44,6 +44,17 @@ concatToString(Args &&...args)
 /** Emit a warning line on stderr. */
 void warnImpl(const std::string &msg);
 
+/**
+ * Hook invoked (if non-null) for every warning, with the formatted
+ * message. Lets higher layers observe warnings without util depending
+ * on them; the obs layer installs one at static-init to count and
+ * trace warnings. The callback must be safe to call from any thread.
+ */
+using WarnObserver = void (*)(const char *msg);
+
+/** Install (or clear, with nullptr) the process-wide warn observer. */
+void setWarnObserver(WarnObserver observer);
+
 /** Emit an informational line on stdout. */
 void informImpl(const std::string &msg);
 

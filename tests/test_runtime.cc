@@ -336,6 +336,53 @@ TEST_F(RuntimeTest, WorkActuallyRunsOffThread)
 
 // ----------------------------------------------------------- counters --
 
+TEST(RuntimeCountersMath, RateHelpersGuardZeroDenominators)
+{
+    // A freshly-reset (all-zero) snapshot must not divide by zero in
+    // any derived-rate helper.
+    const RuntimeCounters zero;
+    EXPECT_EQ(zero.drawCacheHitRate(), 0.0);
+    EXPECT_EQ(zero.kmeansBoundsSkipRate(), 0.0);
+    EXPECT_EQ(zero.sweepConfigsPerPass(), 0.0);
+    EXPECT_EQ(zero.sweepDrawsRetimedPerSec(), 0.0);
+}
+
+TEST(RuntimeCountersMath, DrawCacheHitRate)
+{
+    RuntimeCounters c;
+    c.drawCacheHits = 3;
+    c.drawCacheMisses = 1;
+    EXPECT_DOUBLE_EQ(c.drawCacheHitRate(), 0.75);
+    c.drawCacheMisses = 0;
+    EXPECT_DOUBLE_EQ(c.drawCacheHitRate(), 1.0);
+}
+
+TEST(RuntimeCountersMath, KmeansBoundsSkipRate)
+{
+    RuntimeCounters c;
+    c.kmeansBoundsSkipped = 9;
+    c.kmeansFullScans = 1;
+    EXPECT_DOUBLE_EQ(c.kmeansBoundsSkipRate(), 0.9);
+    c.kmeansBoundsSkipped = 0;
+    EXPECT_DOUBLE_EQ(c.kmeansBoundsSkipRate(), 0.0);
+}
+
+TEST(RuntimeCountersMath, SweepConfigsPerPass)
+{
+    RuntimeCounters c;
+    c.sweepPasses = 4;
+    c.sweepConfigs = 10;
+    EXPECT_DOUBLE_EQ(c.sweepConfigsPerPass(), 2.5);
+}
+
+TEST(RuntimeCountersMath, SweepDrawsRetimedPerSec)
+{
+    RuntimeCounters c;
+    c.sweepDrawsRetimed = 500;
+    c.sweepRetimeNs = 1000000000; // one second
+    EXPECT_DOUBLE_EQ(c.sweepDrawsRetimedPerSec(), 500.0);
+}
+
 TEST_F(RuntimeTest, RegionTimerAccumulates)
 {
     resetRuntimeCounters();

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 
+#include "obs/obs.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -521,6 +522,28 @@ TEST(Logging, WarnIncrementsCounter)
     const int before = warnCount();
     GWS_WARN("test warning ", 42);
     EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Logging, WarnFeedsObservability)
+{
+    // Warnings must surface in both observability sinks: the
+    // gws.warnings counter (--metrics-out) and, while the tracer
+    // records, an instant event carrying the message (--trace-out).
+    obs::Counter &warnings =
+        obs::metricsRegistry().counter("gws.warnings");
+    const std::uint64_t before = warnings.value();
+
+    obs::traceBegin();
+    GWS_WARN("observable warning ", 7);
+    obs::traceEnd();
+
+    EXPECT_EQ(warnings.value(), before + 1);
+    bool found = false;
+    for (const auto &e : obs::traceSnapshot())
+        if (e.phase == obs::TracePhase::Instant && e.name == "warn" &&
+            e.detail.find("observable warning 7") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
 }
 
 TEST(Logging, AssertDeathOnViolation)
