@@ -28,6 +28,8 @@
 #include "runtime/runtime.hh"
 #include "synth/suite.hh"
 #include "util/args.hh"
+#include "util/env.hh"
+#include "util/error.hh"
 #include "util/logging.hh"
 
 #ifndef GWS_GIT_DESCRIBE
@@ -79,9 +81,8 @@ inline void
 addThreadsOption(ArgParser &args)
 {
     benchProcessT0(); // pin the envelope's wall-time origin early
-    std::int64_t def = 0;
-    if (const char *env = std::getenv("GWS_THREADS"))
-        def = std::atoll(env);
+    const std::int64_t def =
+        static_cast<std::int64_t>(envSize("GWS_THREADS", 0));
     args.addInt("threads", def,
                 "worker threads, 0 = hardware concurrency "
                 "(default from GWS_THREADS)");
@@ -148,6 +149,34 @@ makeBenchContext(const ArgParser &args)
     ctx.suite = generateSuite(ctx.scale);
     ctx.corpus = sampleCorpus(ctx.suite, defaultCorpusFrames(ctx.scale));
     return ctx;
+}
+
+/**
+ * Run a bench/example main body, turning typed input-boundary errors
+ * (IoError and its TraceIoError / SubsetIoError subclasses) and any
+ * other exception into a clean nonzero exit instead of a
+ * std::terminate with an opaque abort. Armed --trace-out /
+ * --metrics-out exports are flushed on the way out so a failing run
+ * still leaves its observability artifacts behind.
+ *
+ * Usage:
+ *   namespace { int run(int argc, char **argv) { ... } }
+ *   int main(int argc, char **argv)
+ *   { return gws::runGuardedMain(run, argc, argv); }
+ */
+template <typename Fn>
+inline int
+runGuardedMain(Fn body, int argc, char **argv)
+{
+    try {
+        return body(argc, argv);
+    } catch (const IoError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "unexpected error: %s\n", e.what());
+    }
+    obs::flushObservability();
+    return 1;
 }
 
 /** Print the bench banner. */

@@ -14,8 +14,10 @@
 #include "core/temporal_subset.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -86,4 +88,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -12,8 +12,10 @@
 #include "util/strings.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -72,4 +74,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return all_agree ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -11,8 +11,10 @@
 #include "util/stats.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -91,4 +93,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -39,8 +39,10 @@ struct SweepPoint
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     ArgParser args("bench_fig4_radius_sweep",
                    "error/efficiency vs clustering radius (Fig. 4)");
@@ -153,4 +155,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

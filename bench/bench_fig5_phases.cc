@@ -22,8 +22,10 @@ phaseLetter(std::uint32_t p)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -92,4 +94,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

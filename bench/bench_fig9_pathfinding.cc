@@ -10,8 +10,10 @@
 #include "core/pathfinding.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -71,4 +73,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return all_preserved ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -78,8 +78,10 @@ identical(const Clustering &a, const Clustering &b)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -211,4 +213,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return bit_identical ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -41,8 +41,10 @@ sweepOnceNs(const std::vector<Trace> &suite, const GpuSimulator &sim,
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -139,4 +141,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -75,8 +75,10 @@ identical(const SweepResult &a, const SweepResult &b)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -206,4 +208,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return bit_identical ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

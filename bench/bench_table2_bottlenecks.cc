@@ -12,8 +12,10 @@
 #include "gpusim/report.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -68,4 +70,11 @@ main(int argc, char **argv)
 
     reportRuntime(args);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -20,8 +20,10 @@
 #include "util/args.hh"
 #include "util/strings.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -156,4 +158,11 @@ main(int argc, char **argv)
                 eval.parentNs * 1e-6, eval.predictedNs * 1e-6,
                 formatPercent(eval.relError(), 2).c_str());
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -17,8 +17,10 @@
 #include "util/args.hh"
 #include "util/table.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -70,4 +72,11 @@ main(int argc, char **argv)
     std::printf("speedup correlation:  %.4f\n", result.speedupCorrelation);
     std::printf("rank correlation:     %.4f\n", result.rankCorrelation);
     return result.rankingPreserved ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -29,8 +29,10 @@ phaseLetter(std::uint32_t phase)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -94,4 +96,11 @@ main(int argc, char **argv)
                 timeline.hasRecurringPhase() ? "yes" : "no",
                 timeline.representativeFraction() * 100.0);
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

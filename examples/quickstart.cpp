@@ -21,8 +21,10 @@
 #include "util/args.hh"
 #include "util/strings.hh"
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -65,4 +67,11 @@ main(int argc, char **argv)
     std::printf("prediction error:    %s\n",
                 formatPercent(eval.relError(), 2).c_str());
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

@@ -51,8 +51,10 @@ printInfo(const gws::Trace &trace)
 
 } // namespace
 
+namespace {
+
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     using namespace gws;
 
@@ -149,4 +151,11 @@ main(int argc, char **argv)
         return 1;
     }
     return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
 }

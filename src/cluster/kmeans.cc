@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
-#include <cstdlib>
 #include <limits>
 
 #include "cluster/feature_matrix.hh"
 #include "runtime/counters.hh"
 #include "runtime/parallel_for.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -436,10 +436,7 @@ useNaivePath(KMeansPath path)
         return true;
     if (path == KMeansPath::Fast)
         return false;
-    static const bool forced = [] {
-        const char *env = std::getenv("GWS_NAIVE_KMEANS");
-        return env != nullptr && std::atoi(env) != 0;
-    }();
+    static const bool forced = envBool("GWS_NAIVE_KMEANS", false);
     return forced;
 }
 

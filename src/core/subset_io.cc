@@ -1,9 +1,10 @@
 #include "core/subset_io.hh"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+
+#include "util/codec.hh"
 
 namespace gws {
 
@@ -11,133 +12,18 @@ namespace {
 
 constexpr std::uint32_t subsetMagic = 0x53535747; // "GWSS" little-endian
 
-std::uint32_t
-checksum32(const std::string &payload)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : payload) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return static_cast<std::uint32_t>(h ^ (h >> 32));
-}
+/**
+ * Cap on a shader-vector universe. The universe field sizes a bitset
+ * allocation before any per-bit data is read, so it must be bounded
+ * against length-field lies; 16M shader programs is orders of
+ * magnitude beyond any real trace (thousands).
+ */
+constexpr std::uint32_t maxShaderUniverse = 1u << 24;
 
-class Encoder
-{
-  public:
-    void
-    u8(std::uint8_t v)
-    {
-        buf.push_back(static_cast<char>(v));
-    }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<std::uint32_t>(s.size()));
-        buf.append(s);
-    }
-
-    const std::string &data() const { return buf; }
-
-  private:
-    std::string buf;
-};
-
-class Decoder
-{
-  public:
-    explicit Decoder(std::string data) : buf(std::move(data)) {}
-
-    std::uint8_t
-    u8()
-    {
-        need(1);
-        return static_cast<std::uint8_t>(buf[pos++]);
-    }
-
-    std::uint32_t
-    u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(buf[pos++]))
-                 << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(buf[pos++]))
-                 << (8 * i);
-        return v;
-    }
-
-    double
-    f64()
-    {
-        const std::uint64_t bits = u64();
-        double v;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        const std::uint32_t n = u32();
-        need(n);
-        std::string s = buf.substr(pos, n);
-        pos += n;
-        return s;
-    }
-
-    bool exhausted() const { return pos == buf.size(); }
-
-  private:
-    void
-    need(std::size_t n)
-    {
-        if (pos + n > buf.size())
-            throw SubsetIoError("subset payload truncated at byte " +
-                                std::to_string(pos));
-    }
-
-    std::string buf;
-    std::size_t pos = 0;
-};
+using Reader = ByteReader<SubsetIoError>;
 
 void
-encodeClustering(Encoder &e, const Clustering &c)
+encodeClustering(ByteWriter &e, const Clustering &c)
 {
     e.u32(static_cast<std::uint32_t>(c.k));
     e.u32(static_cast<std::uint32_t>(c.assignment.size()));
@@ -152,37 +38,46 @@ encodeClustering(Encoder &e, const Clustering &c)
 }
 
 Clustering
-decodeClustering(Decoder &dec)
+decodeClustering(Reader &dec)
 {
     Clustering c;
     c.k = dec.u32();
     const std::uint32_t items = dec.u32();
+    // Validate the shape before any allocation sized by it: a lying
+    // k field would otherwise reserve gigabytes up front.
+    if (items == 0 || c.k == 0 || c.k > items)
+        dec.fail("degenerate clustering in subset (k=" +
+                 std::to_string(c.k) + ", items=" +
+                 std::to_string(items) + ")");
+    dec.checkCount(items, 4, "clustering-assignment");
+    dec.checkCount(c.k, 4 + numFeatureDims * 8, "cluster");
     c.assignment.reserve(items);
-    for (std::uint32_t i = 0; i < items; ++i)
-        c.assignment.push_back(dec.u32());
+    for (std::uint32_t i = 0; i < items; ++i) {
+        const std::uint32_t a = dec.u32();
+        if (a >= c.k)
+            dec.fail("clustering assignment " + std::to_string(a) +
+                     " out of range (k=" + std::to_string(c.k) + ")");
+        c.assignment.push_back(a);
+    }
     c.representatives.reserve(c.k);
-    for (std::size_t i = 0; i < c.k; ++i)
-        c.representatives.push_back(dec.u32());
+    for (std::size_t i = 0; i < c.k; ++i) {
+        const std::uint32_t rep = dec.u32();
+        if (rep >= items)
+            dec.fail("clustering representative " + std::to_string(rep) +
+                     " out of range (items=" + std::to_string(items) +
+                     ")");
+        c.representatives.push_back(rep);
+    }
     c.centroids.resize(c.k);
     for (std::size_t cl = 0; cl < c.k; ++cl) {
         for (std::size_t d = 0; d < numFeatureDims; ++d)
             c.centroids[cl].at(d) = dec.f64();
     }
-    if (items == 0 || c.k == 0 || c.k > items)
-        throw SubsetIoError("degenerate clustering in subset");
-    for (std::uint32_t a : c.assignment) {
-        if (a >= c.k)
-            throw SubsetIoError("clustering assignment out of range");
-    }
-    for (std::size_t rep : c.representatives) {
-        if (rep >= items)
-            throw SubsetIoError("clustering representative out of range");
-    }
     return c;
 }
 
 void
-encodeTimeline(Encoder &e, const PhaseTimeline &tl)
+encodeTimeline(ByteWriter &e, const PhaseTimeline &tl)
 {
     e.u32(tl.phaseCount);
     e.u32(static_cast<std::uint32_t>(tl.intervals.size()));
@@ -199,11 +94,17 @@ encodeTimeline(Encoder &e, const PhaseTimeline &tl)
 }
 
 PhaseTimeline
-decodeTimeline(Decoder &dec)
+decodeTimeline(Reader &dec)
 {
     PhaseTimeline tl;
     tl.phaseCount = dec.u32();
     const std::uint32_t n = dec.u32();
+    // Every phase needs at least one interval, so phaseCount > n can
+    // only be a lie; check before the phaseCount-sized allocations.
+    if (tl.phaseCount > n)
+        dec.fail("timeline claims " + std::to_string(tl.phaseCount) +
+                 " phases over " + std::to_string(n) + " intervals");
+    dec.checkCount(n, 20, "timeline-interval");
     tl.phaseIntervals.resize(tl.phaseCount);
     tl.representatives.assign(tl.phaseCount, SIZE_MAX);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -212,18 +113,32 @@ decodeTimeline(Decoder &dec)
         iv.endFrame = dec.u32();
         iv.phaseId = dec.u32();
         const std::uint32_t universe = dec.u32();
+        if (universe > maxShaderUniverse)
+            dec.fail("implausible shader universe " +
+                     std::to_string(universe));
         iv.shaders = ShaderVector(universe);
         const std::uint32_t bits = dec.u32();
+        dec.checkCount(bits, 4, "shader-id");
+        std::int64_t prev = -1;
         for (std::uint32_t b = 0; b < bits; ++b) {
             const std::uint32_t id = dec.u32();
             if (id >= universe)
-                throw SubsetIoError("shader id outside universe");
+                dec.fail("shader id " + std::to_string(id) +
+                         " outside universe " + std::to_string(universe));
+            // Strictly ascending ids keep the encoding canonical (the
+            // writer emits them sorted), so accepted payloads always
+            // re-encode byte-identically.
+            if (static_cast<std::int64_t>(id) <= prev)
+                dec.fail("shader ids not strictly ascending");
+            prev = id;
             iv.shaders.set(id);
         }
         if (iv.phaseId >= tl.phaseCount)
-            throw SubsetIoError("interval phase id out of range");
+            dec.fail("interval phase id " + std::to_string(iv.phaseId) +
+                     " out of range (phases=" +
+                     std::to_string(tl.phaseCount) + ")");
         if (iv.endFrame <= iv.beginFrame)
-            throw SubsetIoError("empty interval in timeline");
+            dec.fail("empty interval in timeline");
         if (tl.representatives[iv.phaseId] == SIZE_MAX)
             tl.representatives[iv.phaseId] = tl.intervals.size();
         tl.phaseIntervals[iv.phaseId].push_back(tl.intervals.size());
@@ -231,7 +146,7 @@ decodeTimeline(Decoder &dec)
     }
     for (std::size_t rep : tl.representatives) {
         if (rep == SIZE_MAX)
-            throw SubsetIoError("phase with no interval");
+            dec.fail("phase with no interval");
     }
     return tl;
 }
@@ -239,7 +154,7 @@ decodeTimeline(Decoder &dec)
 std::string
 encodePayload(const WorkloadSubset &s)
 {
-    Encoder e;
+    ByteWriter e;
     e.str(s.parentName);
     e.u8(static_cast<std::uint8_t>(s.prediction));
     e.u64(s.parentFrames);
@@ -267,17 +182,18 @@ encodePayload(const WorkloadSubset &s)
 WorkloadSubset
 decodePayload(const std::string &payload)
 {
-    Decoder dec(payload);
+    Reader dec(payload, "subset");
     WorkloadSubset s;
     s.parentName = dec.str();
     const std::uint8_t mode = dec.u8();
     if (mode > static_cast<std::uint8_t>(PredictionMode::WorkScaled))
-        throw SubsetIoError("invalid prediction mode");
+        dec.fail("invalid prediction mode " + std::to_string(mode));
     s.prediction = static_cast<PredictionMode>(mode);
     s.parentFrames = dec.u64();
     s.parentDraws = dec.u64();
     s.timeline = decodeTimeline(dec);
     const std::uint32_t n_units = dec.u32();
+    dec.checkCount(n_units, 28, "subset-unit");
     for (std::uint32_t i = 0; i < n_units; ++i) {
         SubsetUnit u;
         u.phaseId = dec.u32();
@@ -286,30 +202,39 @@ decodePayload(const std::string &payload)
         u.frameSubset.clustering = decodeClustering(dec);
         const std::uint32_t n_work = dec.u32();
         if (n_work != u.frameSubset.clustering.items())
-            throw SubsetIoError("work-unit count does not match "
-                                "clustering");
+            dec.fail("work-unit count " + std::to_string(n_work) +
+                     " does not match clustering (" +
+                     std::to_string(u.frameSubset.clustering.items()) +
+                     " items)");
+        dec.checkCount(n_work, 8, "work-unit");
         u.frameSubset.workUnits.reserve(n_work);
         for (std::uint32_t w = 0; w < n_work; ++w)
             u.frameSubset.workUnits.push_back(dec.f64());
         if (u.phaseId >= s.timeline.phaseCount)
-            throw SubsetIoError("unit phase id out of range");
+            dec.fail("unit phase id " + std::to_string(u.phaseId) +
+                     " out of range");
         if (u.frameIndex >= s.parentFrames)
-            throw SubsetIoError("unit frame index out of range");
+            dec.fail("unit frame index " + std::to_string(u.frameIndex) +
+                     " out of range");
         s.units.push_back(std::move(u));
     }
     const std::uint32_t n_groups = dec.u32();
+    dec.checkCount(n_groups, 4, "unit-group");
     s.unitsOfPhase.resize(n_groups);
     for (std::uint32_t g = 0; g < n_groups; ++g) {
         const std::uint32_t n = dec.u32();
+        dec.checkCount(n, 4, "unit-group-index");
         for (std::uint32_t i = 0; i < n; ++i) {
             const std::uint32_t idx = dec.u32();
             if (idx >= s.units.size())
-                throw SubsetIoError("unit group index out of range");
+                dec.fail("unit group index " + std::to_string(idx) +
+                         " out of range (units=" +
+                         std::to_string(s.units.size()) + ")");
             s.unitsOfPhase[g].push_back(idx);
         }
     }
     if (!dec.exhausted())
-        throw SubsetIoError("trailing bytes after subset payload");
+        dec.fail("trailing bytes after subset payload");
     return s;
 }
 
@@ -318,18 +243,9 @@ decodePayload(const std::string &payload)
 void
 writeSubset(const WorkloadSubset &subset, std::ostream &os)
 {
-    const std::string payload = encodePayload(subset);
-    Encoder header;
-    header.u32(subsetMagic);
-    header.u32(subsetFormatVersion);
-    header.u32(static_cast<std::uint32_t>(payload.size()));
-    header.u32(checksum32(payload));
-    os.write(header.data().data(),
-             static_cast<std::streamsize>(header.data().size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!os)
-        throw SubsetIoError("stream write failed for subset of '" +
-                            subset.parentName + "'");
+    writeFramed<SubsetIoError>(os, subsetMagic, subsetFormatVersion,
+                               encodePayload(subset), "subset",
+                               subset.parentName);
 }
 
 void
@@ -344,27 +260,8 @@ writeSubsetFile(const WorkloadSubset &subset, const std::string &path)
 WorkloadSubset
 readSubset(std::istream &is)
 {
-    char raw_header[16];
-    is.read(raw_header, sizeof(raw_header));
-    if (is.gcount() != sizeof(raw_header))
-        throw SubsetIoError("subset header truncated");
-    Decoder header(std::string(raw_header, sizeof(raw_header)));
-    if (header.u32() != subsetMagic)
-        throw SubsetIoError("bad magic: not a gws subset");
-    const std::uint32_t version = header.u32();
-    if (version != subsetFormatVersion)
-        throw SubsetIoError("unsupported subset format version " +
-                            std::to_string(version));
-    const std::uint32_t size = header.u32();
-    const std::uint32_t expect_sum = header.u32();
-
-    std::string payload(size, '\0');
-    is.read(payload.data(), static_cast<std::streamsize>(size));
-    if (static_cast<std::uint32_t>(is.gcount()) != size)
-        throw SubsetIoError("subset payload truncated");
-    if (checksum32(payload) != expect_sum)
-        throw SubsetIoError("subset checksum mismatch (corrupt file)");
-    return decodePayload(payload);
+    return decodePayload(readFramed<SubsetIoError>(
+        is, subsetMagic, subsetFormatVersion, "subset"));
 }
 
 WorkloadSubset

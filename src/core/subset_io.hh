@@ -12,21 +12,21 @@
 #define GWS_CORE_SUBSET_IO_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "core/subset_pipeline.hh"
+#include "util/error.hh"
 
 namespace gws {
 
-/** Error thrown when a subset stream or file cannot be decoded. */
-class SubsetIoError : public std::runtime_error
+/**
+ * Error thrown when a subset stream or file cannot be decoded. Carries
+ * the byte offset of the failure when known (see IoError).
+ */
+class SubsetIoError : public IoError
 {
   public:
-    explicit SubsetIoError(const std::string &what)
-        : std::runtime_error(what)
-    {
-    }
+    using IoError::IoError;
 };
 
 /** Current subset serialization format version. */

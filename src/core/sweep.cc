@@ -1,11 +1,11 @@
 #include "core/sweep.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "gpusim/draw_work_cache.hh"
 #include "runtime/counters.hh"
 #include "runtime/parallel_for.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -456,10 +456,7 @@ sweepUsesNaivePath(SweepPath path)
         return true;
     if (path == SweepPath::Engine)
         return false;
-    static const bool forced = [] {
-        const char *env = std::getenv("GWS_NAIVE_SWEEP");
-        return env != nullptr && std::atoi(env) != 0;
-    }();
+    static const bool forced = envBool("GWS_NAIVE_SWEEP", false);
     return forced;
 }
 

@@ -2,11 +2,11 @@
 
 #include <atomic>
 #include <bit>
-#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
 #include "gpusim/gpu_simulator.hh"
+#include "util/env.hh"
 
 namespace gws {
 
@@ -83,11 +83,8 @@ std::atomic<std::size_t> g_entries{0};
 std::size_t
 maxEntries()
 {
-    static const std::size_t cap = [] {
-        if (const char *env = std::getenv("GWS_DRAW_CACHE_ENTRIES"))
-            return static_cast<std::size_t>(std::atoll(env));
-        return static_cast<std::size_t>(256 * 1024);
-    }();
+    static const std::size_t cap =
+        envSize("GWS_DRAW_CACHE_ENTRIES", 256 * 1024);
     return cap;
 }
 
@@ -156,10 +153,7 @@ drawWorkKey(const Trace &trace, const DrawCall &draw,
 bool
 drawWorkCacheEnabled()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("GWS_DRAW_CACHE");
-        return env == nullptr || std::atoi(env) != 0;
-    }();
+    static const bool enabled = envBool("GWS_DRAW_CACHE", true);
     return enabled;
 }
 

@@ -1,12 +1,10 @@
 #include "runtime/runtime_config.hh"
 
-#include <cstdlib>
 #include <mutex>
-#include <string>
 #include <thread>
 
 #include "runtime/thread_pool.hh"
-#include "util/logging.hh"
+#include "util/env.hh"
 
 namespace gws {
 
@@ -15,21 +13,6 @@ namespace {
 std::mutex config_mutex;
 RuntimeConfig current_config;
 bool env_loaded = false;
-
-/** Parse a non-negative size_t from an env var; fatal() on garbage. */
-std::size_t
-envSize(const char *name, std::size_t fallback)
-{
-    const char *raw = std::getenv(name);
-    if (raw == nullptr || *raw == '\0')
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(raw, &end, 10);
-    if (end == raw || *end != '\0')
-        GWS_FATAL(name, " must be a non-negative integer, got '", raw,
-                  "'");
-    return static_cast<std::size_t>(v);
-}
 
 /** Load GWS_THREADS / GWS_GRAIN once, under config_mutex. */
 void

@@ -1,10 +1,10 @@
 #include "trace/trace_io.hh"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
+
+#include "util/codec.hh"
 
 namespace gws {
 
@@ -12,136 +12,10 @@ namespace {
 
 constexpr std::uint32_t traceMagic = 0x54535747; // "GWST" little-endian
 
-std::uint32_t
-checksum32(const std::string &payload)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (unsigned char c : payload) {
-        h ^= c;
-        h *= 0x100000001b3ULL;
-    }
-    return static_cast<std::uint32_t>(h ^ (h >> 32));
-}
-
-/** Append-only little-endian encoder into a string buffer. */
-class Encoder
-{
-  public:
-    void
-    u8(std::uint8_t v)
-    {
-        buf.push_back(static_cast<char>(v));
-    }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(v));
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<std::uint32_t>(s.size()));
-        buf.append(s);
-    }
-
-    const std::string &data() const { return buf; }
-
-  private:
-    std::string buf;
-};
-
-/** Bounds-checked little-endian decoder over a string buffer. */
-class Decoder
-{
-  public:
-    explicit Decoder(std::string data) : buf(std::move(data)) {}
-
-    std::uint8_t
-    u8()
-    {
-        need(1);
-        return static_cast<std::uint8_t>(buf[pos++]);
-    }
-
-    std::uint32_t
-    u32()
-    {
-        need(4);
-        std::uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<std::uint32_t>(
-                     static_cast<unsigned char>(buf[pos++]))
-                 << (8 * i);
-        return v;
-    }
-
-    std::uint64_t
-    u64()
-    {
-        need(8);
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(buf[pos++]))
-                 << (8 * i);
-        return v;
-    }
-
-    double
-    f64()
-    {
-        const std::uint64_t bits = u64();
-        double v;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        const std::uint32_t n = u32();
-        need(n);
-        std::string s = buf.substr(pos, n);
-        pos += n;
-        return s;
-    }
-
-    bool exhausted() const { return pos == buf.size(); }
-
-  private:
-    void
-    need(std::size_t n)
-    {
-        if (pos + n > buf.size())
-            throw TraceIoError("trace payload truncated at byte " +
-                               std::to_string(pos));
-    }
-
-    std::string buf;
-    std::size_t pos = 0;
-};
+using Reader = ByteReader<TraceIoError>;
 
 void
-encodeDraw(Encoder &e, const DrawCall &d)
+encodeDraw(ByteWriter &e, const DrawCall &d)
 {
     e.u32(d.state.vertexShader);
     e.u32(d.state.pixelShader);
@@ -163,25 +37,25 @@ encodeDraw(Encoder &e, const DrawCall &d)
 }
 
 DrawCall
-decodeDraw(Decoder &dec)
+decodeDraw(Reader &dec)
 {
     DrawCall d;
     d.state.vertexShader = dec.u32();
     d.state.pixelShader = dec.u32();
     const std::uint32_t n_tex = dec.u32();
+    dec.checkCount(n_tex, 4, "texture-binding");
     d.state.textures.reserve(n_tex);
     for (std::uint32_t i = 0; i < n_tex; ++i)
         d.state.textures.push_back(dec.u32());
     d.state.renderTarget = dec.u32();
-    d.state.blendEnabled = dec.u8() != 0;
-    d.state.depthTestEnabled = dec.u8() != 0;
-    d.state.depthWriteEnabled = dec.u8() != 0;
+    d.state.blendEnabled = dec.boolean();
+    d.state.depthTestEnabled = dec.boolean();
+    d.state.depthWriteEnabled = dec.boolean();
     d.vertexCount = dec.u32();
     d.instanceCount = dec.u32();
     const std::uint8_t topo = dec.u8();
     if (topo > static_cast<std::uint8_t>(PrimitiveTopology::TriangleStrip))
-        throw TraceIoError("invalid topology value " +
-                           std::to_string(topo));
+        dec.fail("invalid topology value " + std::to_string(topo));
     d.topology = static_cast<PrimitiveTopology>(topo);
     d.vertexStrideBytes = dec.u32();
     d.shadedPixels = dec.u64();
@@ -194,7 +68,7 @@ decodeDraw(Decoder &dec)
 std::string
 encodePayload(const Trace &trace)
 {
-    Encoder e;
+    ByteWriter e;
     e.str(trace.name());
 
     e.u32(static_cast<std::uint32_t>(trace.shaders().size()));
@@ -238,15 +112,17 @@ encodePayload(const Trace &trace)
 Trace
 decodePayload(const std::string &payload)
 {
-    Decoder dec(payload);
+    Reader dec(payload, "trace");
     Trace trace(dec.str());
 
+    // Per-item minimum sizes below are the fixed-width field bytes of
+    // each record; they bound reserve() against length-field lies.
     const std::uint32_t n_shaders = dec.u32();
+    dec.checkCount(n_shaders, 33, "shader");
     for (std::uint32_t i = 0; i < n_shaders; ++i) {
         const std::uint8_t stage = dec.u8();
         if (stage > static_cast<std::uint8_t>(ShaderStage::Pixel))
-            throw TraceIoError("invalid shader stage " +
-                               std::to_string(stage));
+            dec.fail("invalid shader stage " + std::to_string(stage));
         std::string name = dec.str();
         InstructionMix m;
         m.aluOps = dec.u32();
@@ -261,16 +137,18 @@ decodePayload(const std::string &payload)
     }
 
     const std::uint32_t n_tex = dec.u32();
+    dec.checkCount(n_tex, 13, "texture");
     for (std::uint32_t i = 0; i < n_tex; ++i) {
         TextureDesc t;
         t.width = dec.u32();
         t.height = dec.u32();
         t.bytesPerTexel = dec.u32();
-        t.mipmapped = dec.u8() != 0;
+        t.mipmapped = dec.boolean();
         trace.addTexture(t);
     }
 
     const std::uint32_t n_rt = dec.u32();
+    dec.checkCount(n_rt, 12, "render-target");
     for (std::uint32_t i = 0; i < n_rt; ++i) {
         RenderTargetDesc rt;
         rt.width = dec.u32();
@@ -280,16 +158,18 @@ decodePayload(const std::string &payload)
     }
 
     const std::uint32_t n_frames = dec.u32();
+    dec.checkCount(n_frames, 4, "frame");
     for (std::uint32_t fi = 0; fi < n_frames; ++fi) {
         Frame frame(fi);
         const std::uint32_t n_draws = dec.u32();
+        dec.checkCount(n_draws, 56, "draw");
         for (std::uint32_t di = 0; di < n_draws; ++di)
             frame.addDraw(decodeDraw(dec));
         trace.addFrame(std::move(frame));
     }
 
     if (!dec.exhausted())
-        throw TraceIoError("trailing bytes after trace payload");
+        dec.fail("trailing bytes after trace payload");
     return trace;
 }
 
@@ -298,18 +178,8 @@ decodePayload(const std::string &payload)
 void
 writeTrace(const Trace &trace, std::ostream &os)
 {
-    const std::string payload = encodePayload(trace);
-    Encoder header;
-    header.u32(traceMagic);
-    header.u32(traceFormatVersion);
-    header.u32(static_cast<std::uint32_t>(payload.size()));
-    header.u32(checksum32(payload));
-    os.write(header.data().data(),
-             static_cast<std::streamsize>(header.data().size()));
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    if (!os)
-        throw TraceIoError("stream write failed for trace '" +
-                           trace.name() + "'");
+    writeFramed<TraceIoError>(os, traceMagic, traceFormatVersion,
+                              encodePayload(trace), "trace", trace.name());
 }
 
 void
@@ -324,27 +194,8 @@ writeTraceFile(const Trace &trace, const std::string &path)
 Trace
 readTrace(std::istream &is)
 {
-    char raw_header[16];
-    is.read(raw_header, sizeof(raw_header));
-    if (is.gcount() != sizeof(raw_header))
-        throw TraceIoError("trace header truncated");
-    Decoder header(std::string(raw_header, sizeof(raw_header)));
-    if (header.u32() != traceMagic)
-        throw TraceIoError("bad magic: not a gws trace");
-    const std::uint32_t version = header.u32();
-    if (version != traceFormatVersion)
-        throw TraceIoError("unsupported trace format version " +
-                           std::to_string(version));
-    const std::uint32_t size = header.u32();
-    const std::uint32_t expect_sum = header.u32();
-
-    std::string payload(size, '\0');
-    is.read(payload.data(), static_cast<std::streamsize>(size));
-    if (static_cast<std::uint32_t>(is.gcount()) != size)
-        throw TraceIoError("trace payload truncated");
-    if (checksum32(payload) != expect_sum)
-        throw TraceIoError("trace checksum mismatch (corrupt file)");
-    return decodePayload(payload);
+    return decodePayload(readFramed<TraceIoError>(
+        is, traceMagic, traceFormatVersion, "trace"));
 }
 
 Trace

@@ -13,21 +13,21 @@
 #define GWS_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "trace/trace.hh"
+#include "util/error.hh"
 
 namespace gws {
 
-/** Error thrown when a trace stream or file cannot be decoded. */
-class TraceIoError : public std::runtime_error
+/**
+ * Error thrown when a trace stream or file cannot be decoded. Carries
+ * the byte offset of the failure when known (see IoError).
+ */
+class TraceIoError : public IoError
 {
   public:
-    explicit TraceIoError(const std::string &what)
-        : std::runtime_error(what)
-    {
-    }
+    using IoError::IoError;
 };
 
 /** Current serialization format version. */

@@ -1,5 +1,7 @@
 #include "util/args.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -88,20 +90,38 @@ ArgParser::parse(int argc, const char *const *argv)
         if (!have_value) {
             if (i + 1 >= argc)
                 GWS_FATAL("option '--", name, "' needs a value");
+            // A following token that is itself an option is almost
+            // certainly a forgotten value ("--trace-out --threads 4"
+            // must not eat "--threads" as the filename). The --name=
+            // form still accepts literal values that start with "--".
+            const std::string next = argv[i + 1];
+            if (startsWith(next, "--"))
+                GWS_FATAL("option '--", name, "' needs a value, but the "
+                          "next argument is the option-like '", next,
+                          "'; use --", name, "=", next,
+                          " if that value is intentional");
             value = argv[++i];
         }
         if (opt.kind == Kind::Int) {
             char *end = nullptr;
+            errno = 0;
             std::strtoll(value.c_str(), &end, 10);
             if (end == value.c_str() || *end != '\0')
                 GWS_FATAL("option '--", name, "' wants an integer, got '",
                           value, "'");
+            if (errno == ERANGE)
+                GWS_FATAL("option '--", name, "' value '", value,
+                          "' overflows a 64-bit integer");
         } else if (opt.kind == Kind::Double) {
             char *end = nullptr;
-            std::strtod(value.c_str(), &end);
+            errno = 0;
+            const double v = std::strtod(value.c_str(), &end);
             if (end == value.c_str() || *end != '\0')
                 GWS_FATAL("option '--", name, "' wants a number, got '",
                           value, "'");
+            if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
+                GWS_FATAL("option '--", name, "' value '", value,
+                          "' overflows a double");
         }
         opt.value = value;
     }

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Typed error hierarchy for the input boundary.
+ *
+ * Everything that crosses into the process from outside — binary
+ * trace/subset files, CLI flags, environment knobs — fails with a
+ * typed exception rooted at IoError, never with undefined behaviour,
+ * a panic, or a silently-wrong object. IoError carries the byte
+ * offset of the failure when one is known, so a corrupt capture file
+ * can be diagnosed with a hex dump. GWS_FATAL/GWS_PANIC remain
+ * reserved for unrecoverable user errors and programmer errors
+ * respectively (see util/logging.hh).
+ */
+
+#ifndef GWS_UTIL_ERROR_HH
+#define GWS_UTIL_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gws {
+
+/**
+ * Base of all typed input-boundary errors (trace files, subset files,
+ * and future deserializers). Catch this in a main() to turn any
+ * malformed-input failure into a clean nonzero exit.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    /**
+     * Construct with a message and, when known, the byte offset of
+     * the failure within the payload (-1 = no position). The offset
+     * is appended to what() so it always reaches the user.
+     */
+    explicit IoError(const std::string &what, std::int64_t byte_offset = -1)
+        : std::runtime_error(
+              byte_offset >= 0
+                  ? what + " (byte " + std::to_string(byte_offset) + ")"
+                  : what),
+          offset(byte_offset)
+    {
+    }
+
+    /** Byte offset of the failure, or -1 when not applicable. */
+    std::int64_t byteOffset() const { return offset; }
+
+  private:
+    std::int64_t offset;
+};
+
+} // namespace gws
+
+#endif // GWS_UTIL_ERROR_HH

@@ -10,7 +10,9 @@
 #include <sstream>
 
 #include "core/subset_io.hh"
+#include "features/feature_vector.hh"
 #include "synth/generator.hh"
+#include "util/codec.hh"
 
 namespace gws {
 namespace {
@@ -153,6 +155,205 @@ TEST(SubsetIo, CheckAgainstRejectsWrongParent)
     Trace renamed = wrong;
     renamed.setName(t.name());
     EXPECT_THROW(checkSubsetAgainst(s, renamed), SubsetIoError);
+}
+
+// --- Table-driven structural-error tests -----------------------------
+//
+// Each case hand-crafts a checksum-valid file whose payload violates
+// exactly one decoder rule, pinning the individual throw sites that a
+// checksum-breaking corruption would never reach.
+
+constexpr std::uint32_t kSubsetMagic = 0x53535747; // "GWSS"
+
+/** Frame a hand-built payload as a subset file image. */
+std::string
+frameSubsetPayload(const std::string &payload)
+{
+    std::ostringstream oss(std::ios::binary);
+    writeFramed<SubsetIoError>(oss, kSubsetMagic, subsetFormatVersion,
+                               payload, "subset", "crafted");
+    return oss.str();
+}
+
+/** Write a 1-cluster / 1-item clustering, optionally flawed. */
+void
+putClustering(ByteWriter &e, const std::string &flaw)
+{
+    if (flaw == "degenerate-k-zero") {
+        e.u32(0); // k
+        e.u32(1); // items
+        return;
+    }
+    if (flaw == "degenerate-k-gt-items") {
+        e.u32(2);
+        e.u32(1);
+        return;
+    }
+    if (flaw == "clustering-count-lie") {
+        e.u32(1);
+        e.u32(0xffffff); // items: lies past the end of the payload
+        return;
+    }
+    e.u32(1); // k
+    e.u32(1); // items
+    e.u32(flaw == "assign-oob" ? 5 : 0);
+    if (flaw == "rep-oob") {
+        e.u32(9);
+        return;
+    }
+    e.u32(0); // representative
+    for (std::size_t d = 0; d < numFeatureDims; ++d)
+        e.f64(0.0);
+}
+
+/**
+ * Minimal well-formed subset payload: one phase, one interval, one
+ * unit over a 1-frame / 1-draw parent. `flaw` selects the single rule
+ * a table case violates.
+ */
+std::string
+craftSubsetPayload(const std::string &flaw)
+{
+    ByteWriter e;
+    e.str("p");
+    e.u8(flaw == "bad-mode" ? 9 : 0);
+    e.u64(1); // parent frames
+    e.u64(1); // parent draws
+
+    // Timeline.
+    const bool two_phases = flaw == "phase-no-interval";
+    e.u32(flaw == "phasecount-lie" ? 5 : (two_phases ? 2 : 1));
+    if (flaw == "interval-count-lie") {
+        e.u32(0xffffff);
+        return e.data();
+    }
+    e.u32(two_phases ? 2 : 1);
+    for (int iv = 0; iv < (two_phases ? 2 : 1); ++iv) {
+        e.u32(flaw == "empty-interval" ? 1 : 0); // begin
+        e.u32(1);                                // end
+        e.u32(flaw == "interval-phase-oob" ? 5 : 0);
+        if (flaw == "bad-universe") {
+            e.u32(0x2000000); // above the 16M cap
+            return e.data();
+        }
+        e.u32(4); // universe
+        if (flaw == "shaderid-count-lie") {
+            e.u32(0xffffff);
+            return e.data();
+        }
+        if (flaw == "ids-not-ascending") {
+            e.u32(2);
+            e.u32(2);
+            e.u32(2);
+            return e.data();
+        }
+        e.u32(1);                                  // bits
+        e.u32(flaw == "shader-id-oob" ? 7 : 2);    // id
+    }
+
+    // Units.
+    if (flaw == "unit-count-lie") {
+        e.u32(0xffffff);
+        return e.data();
+    }
+    e.u32(1);
+    e.u32(flaw == "unit-phase-oob" ? 7 : 0);  // phase id
+    e.u32(flaw == "unit-frame-oob" ? 9 : 0);  // frame index
+    e.f64(1.0);                               // frame weight
+    putClustering(e, flaw);
+    if (flaw == "degenerate-k-zero" || flaw == "degenerate-k-gt-items" ||
+        flaw == "clustering-count-lie" || flaw == "rep-oob")
+        return e.data();
+    e.u32(flaw == "work-count-mismatch" ? 2 : 1);
+    e.f64(1.0);
+    if (flaw == "work-count-mismatch")
+        e.f64(1.0);
+
+    // Unit groups.
+    if (flaw == "group-count-lie") {
+        e.u32(0xffffff);
+        return e.data();
+    }
+    e.u32(1);
+    if (flaw == "group-index-count-lie") {
+        e.u32(0xffffff);
+        return e.data();
+    }
+    e.u32(1);
+    e.u32(flaw == "group-index-oob" ? 5 : 0);
+    if (flaw == "trailing-bytes")
+        e.u8(0);
+    return e.data();
+}
+
+TEST(SubsetIo, CraftedMinimalPayloadRoundTrips)
+{
+    const std::string file = frameSubsetPayload(craftSubsetPayload(""));
+    std::istringstream iss(file, std::ios::binary);
+    const WorkloadSubset s = readSubset(iss);
+    EXPECT_EQ(s.parentName, "p");
+    ASSERT_EQ(s.units.size(), 1u);
+    EXPECT_EQ(serialize(s), file);
+}
+
+TEST(SubsetIo, EveryStructuralThrowSiteFires)
+{
+    const char *flaws[] = {
+        "bad-mode",           "phasecount-lie",
+        "interval-count-lie", "bad-universe",
+        "shaderid-count-lie", "shader-id-oob",
+        "ids-not-ascending",  "interval-phase-oob",
+        "empty-interval",     "phase-no-interval",
+        "unit-count-lie",     "degenerate-k-zero",
+        "degenerate-k-gt-items", "clustering-count-lie",
+        "assign-oob",         "rep-oob",
+        "work-count-mismatch", "unit-phase-oob",
+        "unit-frame-oob",     "group-count-lie",
+        "group-index-count-lie", "group-index-oob",
+        "trailing-bytes",
+    };
+    for (const char *flaw : flaws) {
+        SCOPED_TRACE(flaw);
+        const std::string file =
+            frameSubsetPayload(craftSubsetPayload(flaw));
+        std::istringstream iss(file, std::ios::binary);
+        try {
+            readSubset(iss);
+            FAIL() << "decoder accepted flaw " << flaw;
+        } catch (const SubsetIoError &e) {
+            EXPECT_GE(e.byteOffset(), 0) << e.what();
+        }
+    }
+}
+
+TEST(SubsetIo, UnsupportedVersionThrows)
+{
+    std::string data = frameSubsetPayload(craftSubsetPayload(""));
+    data[4] = static_cast<char>(subsetFormatVersion + 1);
+    std::istringstream iss(data, std::ios::binary);
+    EXPECT_THROW(readSubset(iss), SubsetIoError);
+}
+
+TEST(SubsetIo, ImplausiblePayloadSizeThrows)
+{
+    ByteWriter header;
+    header.u32(kSubsetMagic);
+    header.u32(subsetFormatVersion);
+    header.u32(0xffffffffu);
+    header.u32(0);
+    std::istringstream iss(header.data(), std::ios::binary);
+    EXPECT_THROW(readSubset(iss), SubsetIoError);
+}
+
+TEST(SubsetIo, EmptySubsetRoundTrips)
+{
+    // The size-0 edge: no phases, no units, no groups.
+    const WorkloadSubset empty;
+    std::istringstream iss(serialize(empty), std::ios::binary);
+    const WorkloadSubset copy = readSubset(iss);
+    EXPECT_EQ(copy.parentName, empty.parentName);
+    EXPECT_EQ(copy.units.size(), 0u);
+    EXPECT_EQ(serialize(copy), serialize(empty));
 }
 
 TEST(SubsetIo, SerializationIsDeterministic)

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <sstream>
 
 #include "synth/generator.hh"
 #include "trace/trace_io.hh"
+#include "util/codec.hh"
 
 namespace gws {
 namespace {
@@ -193,6 +195,173 @@ TEST(TraceIo, FuzzRandomTruncationAlwaysThrows)
                             good.size() / 2, good.size() - 1}) {
         std::istringstream iss(good.substr(0, len), std::ios::binary);
         EXPECT_THROW(readTrace(iss), TraceIoError) << "length " << len;
+    }
+}
+
+// --- Table-driven structural-error tests -----------------------------
+//
+// Each case hand-crafts a checksum-valid file whose payload violates
+// exactly one decoder rule, so the test pins the specific throw site
+// rather than riding on the checksum.
+
+constexpr std::uint32_t kTraceMagic = 0x54535747; // "GWST"
+
+/** Write one well-formed shader record. */
+void
+putShader(ByteWriter &e, std::uint8_t stage = 0)
+{
+    e.u8(stage);
+    e.str("sh");
+    for (int i = 0; i < 7; ++i) // mix fields + registers
+        e.u32(1);
+}
+
+/** Write one well-formed draw record. */
+void
+putDraw(ByteWriter &e, std::uint8_t bool_byte = 1,
+        std::uint8_t topo = 0)
+{
+    e.u32(0); // vertex shader
+    e.u32(1); // pixel shader
+    e.u32(0); // texture count
+    e.u32(0); // render target
+    e.u8(bool_byte);
+    e.u8(0);
+    e.u8(0);
+    e.u32(3);  // vertices
+    e.u32(1);  // instances
+    e.u8(topo);
+    e.u32(16); // stride
+    e.u64(10); // shaded pixels
+    e.f64(1.0);
+    e.f64(0.5);
+    e.u32(0); // material
+}
+
+/** Frame a hand-built payload as a trace file image. */
+std::string
+frameTracePayload(const std::string &payload)
+{
+    std::ostringstream oss(std::ios::binary);
+    writeFramed<TraceIoError>(oss, kTraceMagic, traceFormatVersion,
+                              payload, "trace", "crafted");
+    return oss.str();
+}
+
+/**
+ * A minimal well-formed payload: one vertex + one pixel shader, one
+ * texture, one render target, one frame with one draw. `flaw` numbers
+ * select the single rule each table case violates.
+ */
+std::string
+craftTracePayload(const std::string &flaw)
+{
+    ByteWriter e;
+    e.str("t");
+    if (flaw == "shader-count-lie") {
+        e.u32(0xffffff);
+        return e.data();
+    }
+    e.u32(2);
+    putShader(e, flaw == "bad-stage" ? 9 : 0);
+    putShader(e, 1);
+    e.u32(flaw == "texture-count-lie" ? 0xffffff : 1);
+    e.u32(64); // width
+    e.u32(64); // height
+    e.u32(4);  // bytes per texel
+    e.u8(flaw == "bad-mip-bool" ? 7 : 1);
+    e.u32(flaw == "rt-count-lie" ? 0xffffff : 1);
+    e.u32(64);
+    e.u32(64);
+    e.u32(4);
+    e.u32(flaw == "frame-count-lie" ? 0xffffff : 1);
+    e.u32(flaw == "draw-count-lie" ? 0xffffff : 1);
+    if (flaw == "texbind-count-lie") {
+        e.u32(0);
+        e.u32(1);
+        e.u32(0xffffff); // texture-binding count
+        return e.data();
+    }
+    putDraw(e, flaw == "bad-blend-bool" ? 2 : 1,
+            flaw == "bad-topology" ? 9 : 0);
+    if (flaw == "trailing-bytes")
+        e.u8(0);
+    return e.data();
+}
+
+TEST(TraceIo, CraftedMinimalPayloadRoundTrips)
+{
+    // The flawless crafted payload must decode and re-encode
+    // byte-identically — otherwise the table below could be throwing
+    // from the wrong site.
+    const std::string file = frameTracePayload(craftTracePayload(""));
+    std::istringstream iss(file, std::ios::binary);
+    const Trace t = readTrace(iss);
+    EXPECT_EQ(t.name(), "t");
+    EXPECT_EQ(t.frameCount(), 1u);
+    EXPECT_EQ(serializeToString(t), file);
+}
+
+TEST(TraceIo, EveryStructuralThrowSiteFires)
+{
+    const char *flaws[] = {
+        "shader-count-lie", "bad-stage",      "texture-count-lie",
+        "bad-mip-bool",     "rt-count-lie",   "frame-count-lie",
+        "draw-count-lie",   "texbind-count-lie", "bad-blend-bool",
+        "bad-topology",     "trailing-bytes",
+    };
+    for (const char *flaw : flaws) {
+        SCOPED_TRACE(flaw);
+        const std::string file =
+            frameTracePayload(craftTracePayload(flaw));
+        std::istringstream iss(file, std::ios::binary);
+        try {
+            readTrace(iss);
+            FAIL() << "decoder accepted flaw " << flaw;
+        } catch (const TraceIoError &e) {
+            // Structural errors point into the payload, i.e. past the
+            // 16-byte header the framing validates.
+            EXPECT_GE(e.byteOffset(), 0) << e.what();
+        }
+    }
+}
+
+TEST(TraceIo, StringLengthLieThrows)
+{
+    // A name whose u32 length runs past the end of the payload.
+    ByteWriter e;
+    e.u32(1000);
+    e.u8('x');
+    std::istringstream iss(frameTracePayload(e.data()),
+                           std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, ImplausiblePayloadSizeThrows)
+{
+    // Size field above the 1 GiB cap must be rejected before any
+    // allocation, even though the stream ends immediately after.
+    ByteWriter header;
+    header.u32(kTraceMagic);
+    header.u32(traceFormatVersion);
+    header.u32(0xffffffffu); // implausible payload size
+    header.u32(0);
+    std::istringstream iss(header.data(), std::ios::binary);
+    EXPECT_THROW(readTrace(iss), TraceIoError);
+}
+
+TEST(TraceIo, ErrorsCarryByteOffsets)
+{
+    std::string data = serializeToString(sampleTrace());
+    data[0] = 'X';
+    std::istringstream iss(data, std::ios::binary);
+    try {
+        readTrace(iss);
+        FAIL() << "bad magic accepted";
+    } catch (const TraceIoError &e) {
+        EXPECT_EQ(e.byteOffset(), 0);
+        EXPECT_NE(std::string(e.what()).find("byte 0"),
+                  std::string::npos);
     }
 }
 

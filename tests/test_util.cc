@@ -9,8 +9,11 @@
 #include <cmath>
 #include <set>
 
+#include <cstdlib>
+
 #include "obs/obs.hh"
 #include "util/args.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -513,6 +516,145 @@ TEST(Args, NegativeNumbersParse)
     ASSERT_TRUE(p.parse(3, argv));
     EXPECT_EQ(p.getInt("i"), -5);
     EXPECT_DOUBLE_EQ(p.getDouble("d"), -2.5);
+}
+
+TEST(Args, SpaceFormRejectsOptionLikeValue)
+{
+    // "--trace-out --threads 4" must not silently eat "--threads" as
+    // the filename; the parser rejects an option-shaped value in the
+    // space form with a hint to use --name=value.
+    ArgParser p("prog", "test");
+    p.addString("trace-out", "", "");
+    p.addInt("threads", 0, "");
+    const char *argv[] = {"prog", "--trace-out", "--threads", "4"};
+    EXPECT_EXIT(p.parse(4, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(Args, EqualsFormAcceptsDashValue)
+{
+    // The escape hatch: --name=--literal still works.
+    ArgParser p("prog", "test");
+    p.addString("trace-out", "", "");
+    const char *argv[] = {"prog", "--trace-out=--odd-filename"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_EQ(p.getString("trace-out"), "--odd-filename");
+}
+
+TEST(Args, MissingValueAtEndOfLineIsFatal)
+{
+    ArgParser p("prog", "test");
+    p.addString("scale", "ci", "");
+    const char *argv[] = {"prog", "--scale"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(Args, IntGarbageIsFatal)
+{
+    ArgParser p("prog", "test");
+    p.addInt("frames", 1, "");
+    const char *argv[] = {"prog", "--frames=lots"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "wants an integer");
+}
+
+TEST(Args, IntOverflowIsFatal)
+{
+    // strtoll saturates with ERANGE; a silently-clamped value must not
+    // reach the program.
+    ArgParser p("prog", "test");
+    p.addInt("frames", 1, "");
+    const char *argv[] = {"prog", "--frames=99999999999999999999"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "overflows");
+}
+
+TEST(Args, DoubleOverflowIsFatal)
+{
+    ArgParser p("prog", "test");
+    p.addDouble("radius", 1.0, "");
+    const char *argv[] = {"prog", "--radius=1e999"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "overflows");
+}
+
+TEST(Args, UnknownOptionIsFatal)
+{
+    ArgParser p("prog", "test");
+    const char *argv[] = {"prog", "--nope"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(Args, PositionalArgumentIsFatal)
+{
+    ArgParser p("prog", "test");
+    const char *argv[] = {"prog", "stray"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "positional");
+}
+
+// -------------------------------------------------------------------- env --
+
+TEST(Env, BoolParsesWordsAndIntegers)
+{
+    ::setenv("GWS_TEST_BOOL", "yes", 1);
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", false));
+    ::setenv("GWS_TEST_BOOL", "OFF", 1);
+    EXPECT_FALSE(envBool("GWS_TEST_BOOL", true));
+    ::setenv("GWS_TEST_BOOL", " true ", 1);
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", false));
+    ::setenv("GWS_TEST_BOOL", "0", 1);
+    EXPECT_FALSE(envBool("GWS_TEST_BOOL", true));
+    ::setenv("GWS_TEST_BOOL", "2", 1);
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", false));
+    ::unsetenv("GWS_TEST_BOOL");
+}
+
+TEST(Env, BoolUnsetOrEmptyUsesFallback)
+{
+    ::unsetenv("GWS_TEST_BOOL");
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", true));
+    EXPECT_FALSE(envBool("GWS_TEST_BOOL", false));
+    ::setenv("GWS_TEST_BOOL", "", 1);
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", true));
+    ::unsetenv("GWS_TEST_BOOL");
+}
+
+TEST(Env, BoolGarbageWarnsAndFallsBack)
+{
+    // The regression this utility exists for: GWS_DRAW_CACHE=yes went
+    // through atoi and silently became 0. Garbage now warns (visible
+    // in gws.warnings) and keeps the default.
+    ::setenv("GWS_TEST_BOOL", "maybe", 1);
+    const int before = warnCount();
+    EXPECT_TRUE(envBool("GWS_TEST_BOOL", true));
+    EXPECT_EQ(warnCount(), before + 1);
+    ::unsetenv("GWS_TEST_BOOL");
+}
+
+TEST(Env, SizeParsesAndTrims)
+{
+    ::setenv("GWS_TEST_SIZE", " 4096 ", 1);
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 4096u);
+    ::unsetenv("GWS_TEST_SIZE");
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 7u);
+}
+
+TEST(Env, SizeRejectsGarbageNegativeAndOverflow)
+{
+    const int before = warnCount();
+    ::setenv("GWS_TEST_SIZE", "many", 1);
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 7u);
+    ::setenv("GWS_TEST_SIZE", "-4", 1);
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 7u);
+    ::setenv("GWS_TEST_SIZE", "99999999999999999999999", 1);
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 7u);
+    ::setenv("GWS_TEST_SIZE", "12cores", 1);
+    EXPECT_EQ(envSize("GWS_TEST_SIZE", 7), 7u);
+    EXPECT_EQ(warnCount(), before + 4);
+    ::unsetenv("GWS_TEST_SIZE");
 }
 
 // ---------------------------------------------------------------- logging --
