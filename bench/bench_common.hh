@@ -18,6 +18,7 @@
 
 #include <sys/stat.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -92,6 +93,9 @@ addThreadsOption(ArgParser &args)
                    "record a Chrome/Perfetto trace to this file");
     args.addString("metrics-out", "",
                    "export the metrics registry as JSON to this file");
+    args.addString("metrics-text-out", "",
+                   "export the metrics registry as Prometheus text "
+                   "exposition to this file");
 }
 
 /**
@@ -119,6 +123,10 @@ applyThreadsOption(const ArgParser &args)
     const std::string metrics_out = args.getString("metrics-out");
     if (!metrics_out.empty())
         obs::setMetricsOutputPath(metrics_out);
+    const std::string metrics_text_out =
+        args.getString("metrics-text-out");
+    if (!metrics_text_out.empty())
+        obs::setMetricsTextOutputPath(metrics_text_out);
 }
 
 /**
@@ -151,13 +159,44 @@ makeBenchContext(const ArgParser &args)
     return ctx;
 }
 
+namespace bench_detail {
+
+/**
+ * SIGINT/SIGTERM handler: flush any armed --trace-out /
+ * --metrics-out / --metrics-text-out exports, then die by the
+ * default disposition so the shell still sees a signal death.
+ * flushObservability() is not async-signal-safe in the strict sense;
+ * this is a best-effort last write on an interactive ^C, and the
+ * worst case is a torn output file that was about to be dropped
+ * entirely anyway.
+ */
+inline void
+flushOnSignal(int sig)
+{
+    std::signal(sig, SIG_DFL);
+    obs::flushObservability();
+    std::raise(sig);
+}
+
+/** Install flushOnSignal for SIGINT and SIGTERM. */
+inline void
+installSignalFlush()
+{
+    std::signal(SIGINT, flushOnSignal);
+    std::signal(SIGTERM, flushOnSignal);
+}
+
+} // namespace bench_detail
+
 /**
  * Run a bench/example main body, turning typed input-boundary errors
  * (IoError and its TraceIoError / SubsetIoError subclasses) and any
  * other exception into a clean nonzero exit instead of a
  * std::terminate with an opaque abort. Armed --trace-out /
- * --metrics-out exports are flushed on the way out so a failing run
- * still leaves its observability artifacts behind.
+ * --metrics-out exports are flushed on the way out — including on
+ * SIGINT/SIGTERM, so an interrupted run still leaves its
+ * observability artifacts behind (long-lived daemons may override
+ * the handlers with their own graceful-drain logic).
  *
  * Usage:
  *   namespace { int run(int argc, char **argv) { ... } }
@@ -168,6 +207,7 @@ template <typename Fn>
 inline int
 runGuardedMain(Fn body, int argc, char **argv)
 {
+    bench_detail::installSignalFlush();
     try {
         return body(argc, argv);
     } catch (const IoError &e) {

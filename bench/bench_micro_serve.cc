@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Microbenchmark of the serving subsystem: an in-process gws_served
+ * on an ephemeral loopback port, one tenant streaming a synthetic
+ * workload chunk by chunk with a representative-set query after every
+ * chunk (each query recomputes — the memo is invalidated by the new
+ * frames). Reports uploads/s and p50/p99 query latency at 1 and 4
+ * runtime threads, and writes BENCH_micro_serve.json so the serving
+ * perf trajectory can be tracked run over run.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace gws;
+using namespace gws::serve;
+
+double
+percentileMs(std::vector<double> sorted_ns, double p)
+{
+    if (sorted_ns.empty())
+        return 0.0;
+    std::sort(sorted_ns.begin(), sorted_ns.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted_ns.size() - 1));
+    return sorted_ns[idx] * 1e-6;
+}
+
+struct ServePoint
+{
+    std::size_t threads = 0;
+    double uploadsPerS = 0.0;
+    double queryP50Ms = 0.0;
+    double queryP99Ms = 0.0;
+};
+
+/** One full session lifecycle; returns the measured point. */
+ServePoint
+runOnce(const Trace &trace, std::size_t threads,
+        std::size_t chunkFrames, std::size_t repeats)
+{
+    RuntimeConfig cfg = runtimeConfig();
+    cfg.threads = threads;
+    setRuntimeConfig(cfg);
+
+    Server server(ServerConfig{});
+    server.start();
+
+    std::vector<double> upload_ns;
+    std::vector<double> query_ns;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        ServeClient client =
+            ServeClient::connectTcp(server.boundPort());
+        const std::uint64_t id = client.open(trace.name());
+        for (std::size_t begin = 0; begin < trace.frameCount();
+             begin += chunkFrames) {
+            const std::string blob = traceToBlob(
+                sliceTrace(trace, begin, begin + chunkFrames));
+
+            const std::uint64_t u0 = runtime_detail::nowNs();
+            client.uploadFrames(id, blob);
+            upload_ns.push_back(static_cast<double>(
+                runtime_detail::nowNs() - u0));
+
+            const std::uint64_t q0 = runtime_detail::nowNs();
+            client.query(id);
+            query_ns.push_back(static_cast<double>(
+                runtime_detail::nowNs() - q0));
+        }
+        client.close(id);
+    }
+    server.stop();
+
+    double upload_total_ns = 0.0;
+    for (double ns : upload_ns)
+        upload_total_ns += ns;
+
+    ServePoint point;
+    point.threads = threads;
+    point.uploadsPerS = static_cast<double>(upload_ns.size()) /
+                        (upload_total_ns * 1e-9);
+    point.queryP50Ms = percentileMs(query_ns, 0.50);
+    point.queryP99Ms = percentileMs(query_ns, 0.99);
+    return point;
+}
+
+int
+run(int argc, char **argv)
+{
+    ArgParser args("bench_micro_serve",
+                   "serving daemon upload/query microbenchmark");
+    addScaleOption(args);
+    addThreadsOption(args);
+    args.addInt("repeats", 3, "session lifecycles per thread count");
+    args.addInt("chunk-frames", 4, "frames per upload chunk");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_serve.json, empty = skip)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    const SuiteScale scale = parseSuiteScale(args.getString("scale"));
+    banner("MS", "serving daemon: upload + query latency", scale);
+
+    GameProfile profile = builtinProfile("circuit", scale);
+    if (scale == SuiteScale::Ci) {
+        profile.segments = 4;
+        profile.segmentFramesMin = 6;
+        profile.segmentFramesMax = 8;
+        profile.drawsPerFrame = 40.0;
+    }
+    const Trace trace = GameGenerator(profile).generate();
+    const std::size_t chunkFrames = std::max<std::int64_t>(
+        1, args.getInt("chunk-frames"));
+    const std::size_t repeats =
+        std::max<std::int64_t>(1, args.getInt("repeats"));
+    std::printf("workload: %zu frames, chunked by %zu; "
+                "query after every chunk\n",
+                trace.frameCount(), chunkFrames);
+
+    const RuntimeConfig base = runtimeConfig();
+    std::vector<ServePoint> points;
+    for (std::size_t threads : {std::size_t(1), std::size_t(4)})
+        points.push_back(
+            runOnce(trace, threads, chunkFrames, repeats));
+    setRuntimeConfig(base);
+
+    Table table(
+        {"threads", "uploads/s", "query p50 ms", "query p99 ms"});
+    for (const ServePoint &p : points) {
+        table.newRow();
+        table.cell(p.threads);
+        table.cell(p.uploadsPerS, 1);
+        table.cell(p.queryP50Ms, 2);
+        table.cell(p.queryP99Ms, 2);
+    }
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    const std::string out = args.getString("out");
+    if (!out.empty()) {
+        BenchJsonWriter json("micro_serve");
+        json.setString("scale", toString(scale));
+        json.setUint("frames", trace.frameCount());
+        json.setUint("chunk_frames", chunkFrames);
+        std::string rows = "[";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s{\"threads\": %zu, \"uploads_per_s\": %.1f, "
+                "\"query_p50_ms\": %.3f, \"query_p99_ms\": %.3f}",
+                i == 0 ? "" : ", ", points[i].threads,
+                points[i].uploadsPerS, points[i].queryP50Ms,
+                points[i].queryP99Ms);
+            rows += buf;
+        }
+        rows += "]";
+        json.setRaw("points", rows);
+        json.write(out == "default" ? "" : out);
+    }
+
+    reportRuntime(args);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
+}

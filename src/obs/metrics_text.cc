@@ -1,0 +1,101 @@
+#include "obs/metrics_text.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gws {
+namespace obs {
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+namespace {
+
+/** Shortest round-trippable decimal for a gauge value. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+renderOne(std::ostringstream &os, const MetricSnapshot &m)
+{
+    const std::string base = prometheusName(m.name);
+    switch (m.type) {
+    case MetricType::Counter:
+        os << "# TYPE " << base << "_total counter\n";
+        os << base << "_total " << m.counterValue << "\n";
+        break;
+    case MetricType::Gauge:
+        os << "# TYPE " << base << " gauge\n";
+        os << base << " " << formatDouble(m.gaugeValue) << "\n";
+        break;
+    case MetricType::Histogram: {
+        os << "# TYPE " << base << " histogram\n";
+        // Prometheus buckets are cumulative; the snapshot's are not.
+        std::uint64_t cum = 0;
+        for (const MetricSnapshot::Bucket &b : m.buckets) {
+            cum += b.count;
+            os << base << "_bucket{le=\"" << b.hi << "\"} " << cum
+               << "\n";
+        }
+        os << base << "_bucket{le=\"+Inf\"} " << m.histCount << "\n";
+        os << base << "_sum " << m.histSum << "\n";
+        os << base << "_count " << m.histCount << "\n";
+        break;
+    }
+    }
+}
+
+} // namespace
+
+std::string
+metricsPrometheusText(const std::vector<MetricSnapshot> &snapshot)
+{
+    std::ostringstream os;
+    for (const MetricSnapshot &m : snapshot)
+        renderOne(os, m);
+    return os.str();
+}
+
+std::string
+metricsPrometheusText()
+{
+    return metricsPrometheusText(metricsRegistry().snapshot());
+}
+
+bool
+writeMetricsText(const std::string &path)
+{
+    FILE *fp = std::fopen(path.c_str(), "w");
+    if (fp == nullptr) {
+        GWS_WARN("cannot write metrics text to ", path);
+        return false;
+    }
+    const std::string text = metricsPrometheusText();
+    std::fwrite(text.data(), 1, text.size(), fp);
+    std::fclose(fp);
+    return true;
+}
+
+} // namespace obs
+} // namespace gws

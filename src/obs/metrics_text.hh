@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Prometheus text-exposition converter for the metrics registry
+ * (`gws.metrics.v1` -> text/plain version 0.0.4). Metric names are
+ * sanitized to the Prometheus charset (dots become underscores),
+ * counters gain the conventional `_total` suffix, and log2-bucketed
+ * histograms export as cumulative `_bucket{le="..."}` series plus
+ * `_sum` / `_count` — so the serving daemon's scrape reply (and the
+ * `--metrics-text-out` bench option) can feed a stock Prometheus
+ * scraper without an adapter.
+ */
+
+#ifndef GWS_OBS_METRICS_TEXT_HH
+#define GWS_OBS_METRICS_TEXT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace gws {
+namespace obs {
+
+/**
+ * A metric name mapped to the Prometheus charset
+ * [a-zA-Z_:][a-zA-Z0-9_:]*: every other character becomes '_', and a
+ * leading digit gains a '_' prefix.
+ */
+std::string prometheusName(const std::string &name);
+
+/** Render a snapshot as Prometheus text exposition format. */
+std::string metricsPrometheusText(
+    const std::vector<MetricSnapshot> &snapshot);
+
+/** Render the whole process-global registry. */
+std::string metricsPrometheusText();
+
+/**
+ * Write metricsPrometheusText() to `path`. Returns false (after a
+ * warning) when the file cannot be opened.
+ */
+bool writeMetricsText(const std::string &path);
+
+} // namespace obs
+} // namespace gws
+
+#endif // GWS_OBS_METRICS_TEXT_HH

@@ -1,13 +1,15 @@
 /**
  * @file
- * Umbrella header for the observability layer: span tracer (trace.hh)
- * plus metrics registry (metrics.hh).
+ * Umbrella header for the observability layer: span tracer (trace.hh),
+ * metrics registry (metrics.hh), and the Prometheus text exporter
+ * (metrics_text.hh).
  */
 
 #ifndef GWS_OBS_OBS_HH
 #define GWS_OBS_OBS_HH
 
 #include "obs/metrics.hh"
+#include "obs/metrics_text.hh"
 #include "obs/trace.hh"
 
 #endif // GWS_OBS_OBS_HH

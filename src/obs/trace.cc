@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "obs/metrics.hh"
+#include "obs/metrics_text.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -98,6 +99,7 @@ sinceT0(std::uint64_t ns)
 std::mutex g_export_mutex;
 std::string g_trace_path;
 std::string g_metrics_path;
+std::string g_metrics_text_path;
 bool g_atexit_registered = false;
 
 void
@@ -358,19 +360,32 @@ setMetricsOutputPath(const std::string &metricsPath)
 }
 
 void
+setMetricsTextOutputPath(const std::string &metricsTextPath)
+{
+    std::lock_guard<std::mutex> lock(g_export_mutex);
+    g_metrics_text_path = metricsTextPath;
+    if (!metricsTextPath.empty())
+        armAtexitLocked();
+}
+
+void
 flushObservability()
 {
-    std::string trace_path, metrics_path;
+    std::string trace_path, metrics_path, metrics_text_path;
     {
         std::lock_guard<std::mutex> lock(g_export_mutex);
         trace_path.swap(g_trace_path);
         metrics_path.swap(g_metrics_path);
+        metrics_text_path.swap(g_metrics_text_path);
     }
     if (!trace_path.empty() && writeChromeTrace(trace_path))
         GWS_INFORM("wrote trace to ", trace_path);
     if (!metrics_path.empty() &&
         metricsRegistry().writeJson(metrics_path))
         GWS_INFORM("wrote metrics to ", metrics_path);
+    if (!metrics_text_path.empty() &&
+        writeMetricsText(metrics_text_path))
+        GWS_INFORM("wrote metrics text to ", metrics_text_path);
 }
 
 namespace {

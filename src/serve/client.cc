@@ -1,0 +1,191 @@
+#include "serve/client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "trace/trace_io.hh"
+
+namespace gws {
+namespace serve {
+
+ServeClient
+ServeClient::connectUnix(const std::string &path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ServeError("client: socket(AF_UNIX) failed: " +
+                         std::string(std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        throw ServeError("client: unix socket path too long: " + path);
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        throw ServeError("client: connect(" + path +
+                         ") failed: " + what);
+    }
+    return ServeClient(fd);
+}
+
+ServeClient
+ServeClient::connectTcp(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw ServeError("client: socket(AF_INET) failed: " +
+                         std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string what = std::strerror(errno);
+        ::close(fd);
+        throw ServeError("client: connect(127.0.0.1:" +
+                         std::to_string(port) + ") failed: " + what);
+    }
+    return ServeClient(fd);
+}
+
+ServeClient::~ServeClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+ServeClient::ServeClient(ServeClient &&other) noexcept
+    : fd(std::exchange(other.fd, -1))
+{
+}
+
+ServeClient &
+ServeClient::operator=(ServeClient &&other) noexcept
+{
+    if (this != &other) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = std::exchange(other.fd, -1);
+    }
+    return *this;
+}
+
+std::string
+ServeClient::roundTrip(const std::string &payload)
+{
+    sendFrame(fd, payload);
+    std::string reply;
+    if (!recvFrame(fd, reply))
+        throw ServeError(
+            "client: server closed the connection mid-request");
+    if (peekKind(reply) == MsgKind::ErrorReply) {
+        const ErrorReplyMsg err = decodeErrorReply(reply);
+        throw ServeRemoteError(err.code, err.message);
+    }
+    return reply;
+}
+
+PongMsg
+ServeClient::ping()
+{
+    return decodePong(roundTrip(encode(PingMsg{})));
+}
+
+std::uint64_t
+ServeClient::open(const std::string &name)
+{
+    OpenSessionMsg msg;
+    msg.name = name;
+    return decodeSessionOpened(roundTrip(encode(msg))).sessionId;
+}
+
+FramesAcceptedMsg
+ServeClient::uploadFrames(std::uint64_t sessionId,
+                          const std::string &traceBlob)
+{
+    UploadFramesMsg msg;
+    msg.sessionId = sessionId;
+    msg.traceBlob = traceBlob;
+    return decodeFramesAccepted(roundTrip(encode(msg)));
+}
+
+FramesAcceptedMsg
+ServeClient::uploadFrames(std::uint64_t sessionId, const Trace &chunk)
+{
+    return uploadFrames(sessionId, traceToBlob(chunk));
+}
+
+std::string
+ServeClient::query(std::uint64_t sessionId)
+{
+    QueryMsg msg;
+    msg.sessionId = sessionId;
+    return decodeRepresentatives(roundTrip(encode(msg))).subsetBlob;
+}
+
+StatsReplyMsg
+ServeClient::stats(std::uint64_t sessionId)
+{
+    StatsMsg msg;
+    msg.sessionId = sessionId;
+    return decodeStatsReply(roundTrip(encode(msg)));
+}
+
+void
+ServeClient::close(std::uint64_t sessionId)
+{
+    CloseSessionMsg msg;
+    msg.sessionId = sessionId;
+    decodeClosed(roundTrip(encode(msg)));
+}
+
+std::string
+ServeClient::scrapeMetrics(MetricsFormat format)
+{
+    MetricsScrapeMsg msg;
+    msg.format = format;
+    return decodeMetricsReply(roundTrip(encode(msg))).text;
+}
+
+Trace
+sliceTrace(const Trace &trace, std::size_t beginFrame,
+           std::size_t endFrame)
+{
+    Trace chunk(trace.name());
+    chunk.shaders() = trace.shaders();
+    for (const TextureDesc &t : trace.textures())
+        chunk.addTexture(t);
+    for (const RenderTargetDesc &r : trace.renderTargets())
+        chunk.addRenderTarget(r);
+    for (std::size_t i = beginFrame;
+         i < endFrame && i < trace.frameCount(); ++i) {
+        Frame copy(chunk.frameCount());
+        copy.draws() = trace.frames()[i].draws();
+        chunk.addFrame(std::move(copy));
+    }
+    return chunk;
+}
+
+std::string
+traceToBlob(const Trace &trace)
+{
+    std::ostringstream out;
+    writeTrace(trace, out);
+    return out.str();
+}
+
+} // namespace serve
+} // namespace gws

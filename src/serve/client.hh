@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Client side of gws.serve.v1: a blocking request/reply handle over a
+ * connected stream socket, plus trace-chunking helpers for streaming
+ * a workload to the daemon frame-range by frame-range.
+ *
+ * Error model: transport/framing failures throw ServeError; a typed
+ * ErrorReply from the server throws ServeRemoteError, which carries
+ * the server's ErrorCode so callers can branch on ServerBusy /
+ * SessionEvicted without string matching.
+ */
+
+#ifndef GWS_SERVE_CLIENT_HH
+#define GWS_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+namespace serve {
+
+/** A typed error reply from the server. */
+class ServeRemoteError : public ServeError
+{
+  public:
+    ServeRemoteError(ErrorCode code, const std::string &message)
+        : ServeError(std::string(toString(code)) + ": " + message),
+          errorCode(code)
+    {
+    }
+
+    /** The server-assigned error code. */
+    ErrorCode code() const { return errorCode; }
+
+  private:
+    ErrorCode errorCode;
+};
+
+/** A connected gws_served client (move-only; closes on destruction). */
+class ServeClient
+{
+  public:
+    /** Connect to a Unix-domain socket; throws ServeError. */
+    static ServeClient connectUnix(const std::string &path);
+
+    /** Connect to loopback TCP; throws ServeError. */
+    static ServeClient connectTcp(std::uint16_t port);
+
+    ~ServeClient();
+    ServeClient(ServeClient &&other) noexcept;
+    ServeClient &operator=(ServeClient &&other) noexcept;
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Liveness probe; returns the server's identity and uptime. */
+    PongMsg ping();
+
+    /** Open a session; returns the server-issued id. */
+    std::uint64_t open(const std::string &name);
+
+    /** Upload one chunk (a complete writeTrace image). */
+    FramesAcceptedMsg uploadFrames(std::uint64_t sessionId,
+                                   const std::string &traceBlob);
+
+    /** Upload one chunk given as a trace (serialized internally). */
+    FramesAcceptedMsg uploadFrames(std::uint64_t sessionId,
+                                   const Trace &chunk);
+
+    /**
+     * Query the representative set; returns the serialized subset
+     * image (readSubset-compatible, bit-identical to the batch
+     * pipeline over the session's frames).
+     */
+    std::string query(std::uint64_t sessionId);
+
+    /** Live session statistics. */
+    StatsReplyMsg stats(std::uint64_t sessionId);
+
+    /** Close the session. */
+    void close(std::uint64_t sessionId);
+
+    /** Scrape the server's metrics registry. */
+    std::string scrapeMetrics(MetricsFormat format);
+
+  private:
+    explicit ServeClient(int fd) : fd(fd) {}
+
+    /** Send a request, receive the reply; throws on ErrorReply. */
+    std::string roundTrip(const std::string &payload);
+
+    int fd = -1;
+};
+
+/**
+ * Copy frames [beginFrame, endFrame) of `trace` into a standalone
+ * chunk trace that shares the resource tables and renumbers the
+ * frames from zero — the upload unit the serve protocol expects.
+ */
+Trace sliceTrace(const Trace &trace, std::size_t beginFrame,
+                 std::size_t endFrame);
+
+/** Serialize a trace to a writeTrace image in memory. */
+std::string traceToBlob(const Trace &trace);
+
+} // namespace serve
+} // namespace gws
+
+#endif // GWS_SERVE_CLIENT_HH

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * gws_ctl: command-line client of gws_served. One request per
+ * invocation (--mode=ping|open|upload|query|stats|close|metrics),
+ * plus --mode=demo, which drives a complete session lifecycle with a
+ * synthetic workload and A/B-checks the returned representative set
+ * against the local batch pipeline — the smoke test CI runs against a
+ * live daemon.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/subset_io.hh"
+#include "core/subset_pipeline.hh"
+#include "serve/client.hh"
+#include "synth/generator.hh"
+#include "trace/trace_io.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace gws;
+using namespace gws::serve;
+
+ServeClient
+connect(const ArgParser &args)
+{
+    const std::string unixPath = args.getString("unix");
+    if (!unixPath.empty())
+        return ServeClient::connectUnix(unixPath);
+    const std::int64_t port = args.getInt("port");
+    if (port <= 0 || port > 65535)
+        GWS_FATAL("gws_ctl: pass --unix=<path> or --port=<port>");
+    return ServeClient::connectTcp(
+        static_cast<std::uint16_t>(port));
+}
+
+std::uint64_t
+sessionArg(const ArgParser &args)
+{
+    const std::int64_t id = args.getInt("session");
+    if (id <= 0)
+        GWS_FATAL("gws_ctl: this mode needs --session=<id>");
+    return static_cast<std::uint64_t>(id);
+}
+
+void
+printStats(const StatsReplyMsg &stats)
+{
+    std::printf("frames=%llu draws=%llu resident_bytes=%llu "
+                "online_clusters=%u refinements=%u drift=%.4f "
+                "efficiency=%.4f\n",
+                static_cast<unsigned long long>(stats.frames),
+                static_cast<unsigned long long>(stats.draws),
+                static_cast<unsigned long long>(stats.residentBytes),
+                stats.onlineClusters, stats.refinements, stats.drift,
+                stats.efficiency);
+}
+
+/** Upload a trace in chunks of `chunkFrames` (0 = one chunk). */
+std::uint64_t
+uploadTrace(ServeClient &client, std::uint64_t id,
+            const Trace &trace, std::size_t chunkFrames)
+{
+    const std::size_t step =
+        chunkFrames == 0 ? trace.frameCount() : chunkFrames;
+    std::uint64_t total = 0;
+    for (std::size_t begin = 0; begin < trace.frameCount();
+         begin += step) {
+        const FramesAcceptedMsg accepted = client.uploadFrames(
+            id, sliceTrace(trace, begin, begin + step));
+        total = accepted.totalFrames;
+    }
+    return total;
+}
+
+int
+runDemo(const ArgParser &args)
+{
+    // A complete lifecycle against a live daemon: open, stream the
+    // synthetic workload chunk by chunk, query, A/B the reply against
+    // the local batch pipeline, close.
+    GameProfile profile =
+        builtinProfile(args.getString("profile"), SuiteScale::Ci);
+    const Trace trace = GameGenerator(profile).generate();
+
+    ServeClient client = connect(args);
+    // The session name becomes the assembled trace's name, which the
+    // subset blob embeds as parentName — open with the exact trace
+    // name or the bit-identity A/B fails on that field alone.
+    const std::uint64_t id = client.open(trace.name());
+    const std::uint64_t frames = uploadTrace(
+        client, id, trace,
+        static_cast<std::size_t>(args.getInt("chunk-frames")));
+
+    const std::string remoteBlob = client.query(id);
+    std::ostringstream localStream;
+    writeSubset(buildWorkloadSubset(trace, SubsetConfig{}),
+                localStream);
+    const bool identical = remoteBlob == localStream.str();
+
+    const StatsReplyMsg stats = client.stats(id);
+    client.close(id);
+
+    std::printf("DEMO %s frames=%llu subset_bytes=%zu "
+                "online_clusters=%u refinements=%u\n",
+                identical ? "OK" : "MISMATCH",
+                static_cast<unsigned long long>(frames),
+                remoteBlob.size(), stats.onlineClusters,
+                stats.refinements);
+    return identical ? 0 : 1;
+}
+
+int
+run(const ArgParser &args)
+{
+    const std::string mode = args.getString("mode");
+    if (mode == "demo")
+        return runDemo(args);
+
+    ServeClient client = connect(args);
+    if (mode == "ping") {
+        const PongMsg pong = client.ping();
+        std::printf("%s uptime_ns=%llu sessions=%llu\n",
+                    pong.protocol.c_str(),
+                    static_cast<unsigned long long>(pong.uptimeNs),
+                    static_cast<unsigned long long>(pong.sessions));
+    } else if (mode == "open") {
+        const std::uint64_t id = client.open(args.getString("name"));
+        std::printf("session=%llu\n",
+                    static_cast<unsigned long long>(id));
+    } else if (mode == "upload") {
+        const std::string path = args.getString("trace");
+        if (path.empty())
+            GWS_FATAL("gws_ctl: upload needs --trace=<file>");
+        const Trace trace = readTraceFile(path);
+        const std::uint64_t frames = uploadTrace(
+            client, sessionArg(args), trace,
+            static_cast<std::size_t>(args.getInt("chunk-frames")));
+        std::printf("frames=%llu\n",
+                    static_cast<unsigned long long>(frames));
+    } else if (mode == "query") {
+        const std::string blob = client.query(sessionArg(args));
+        const std::string out = args.getString("out");
+        if (out.empty()) {
+            // No output path: report the decoded subset's shape.
+            std::istringstream in(blob);
+            const WorkloadSubset subset = readSubset(in);
+            std::printf("representatives=%zu subset_bytes=%zu\n",
+                        subset.units.size(), blob.size());
+        } else {
+            std::ofstream os(out, std::ios::binary);
+            os.write(blob.data(),
+                     static_cast<std::streamsize>(blob.size()));
+            if (!os)
+                GWS_FATAL("gws_ctl: cannot write ", out);
+            std::printf("wrote %zu bytes to %s\n", blob.size(),
+                        out.c_str());
+        }
+    } else if (mode == "stats") {
+        printStats(client.stats(sessionArg(args)));
+    } else if (mode == "close") {
+        client.close(sessionArg(args));
+        std::printf("closed\n");
+    } else if (mode == "metrics") {
+        const std::string format = args.getString("format");
+        if (format != "json" && format != "text")
+            GWS_FATAL("gws_ctl: --format must be json or text");
+        std::fputs(client
+                       .scrapeMetrics(format == "text"
+                                          ? MetricsFormat::PrometheusText
+                                          : MetricsFormat::Json)
+                       .c_str(),
+                   stdout);
+    } else {
+        GWS_FATAL("gws_ctl: unknown --mode=", mode,
+                  " (ping|open|upload|query|stats|close|metrics|"
+                  "demo)");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("gws_ctl", "gws_served command-line client");
+    args.addString("mode", "ping",
+                   "ping|open|upload|query|stats|close|metrics|demo");
+    args.addString("unix", "",
+                   "unix-domain socket path of the daemon");
+    args.addInt("port", 0, "loopback TCP port of the daemon");
+    args.addString("name", "workload",
+                   "workload name (--mode=open)");
+    args.addInt("session", 0, "session id (upload/query/stats/close)");
+    args.addString("trace", "",
+                   "trace file to upload (--mode=upload)");
+    args.addInt("chunk-frames", 8,
+                "frames per upload chunk, 0 = one chunk");
+    args.addString("out", "",
+                   "write the queried subset image here "
+                   "(--mode=query)");
+    args.addString("format", "json",
+                   "metrics scrape format: json or text");
+    args.addString("profile", "circuit",
+                   "builtin game profile (--mode=demo)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    try {
+        return run(args);
+    } catch (const ServeRemoteError &e) {
+        GWS_FATAL("gws_ctl: server replied ", e.what());
+    } catch (const gws::IoError &e) {
+        GWS_FATAL("gws_ctl: ", e.what());
+    } catch (const std::exception &e) {
+        GWS_FATAL("gws_ctl: unexpected: ", e.what());
+    }
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The gws_served daemon binary: bind a Unix-domain or loopback TCP
+ * socket, serve gws.serve.v1 until SIGINT/SIGTERM, drain, and flush
+ * any armed observability exports.
+ *
+ * The listen endpoint is printed to stdout as "LISTENING <endpoint>"
+ * once the socket is bound, so scripts driving an ephemeral TCP port
+ * (--port=0) can discover it.
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "obs/obs.hh"
+#include "runtime/runtime.hh"
+#include "serve/server.hh"
+#include "util/args.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gws;
+    using namespace gws::serve;
+
+    ArgParser args("gws_served",
+                   "multi-tenant workload-subsetting daemon "
+                   "(gws.serve.v1 over a stream socket)");
+    args.addString("unix", "",
+                   "unix-domain socket path (preferred transport)");
+    args.addInt("port", 0,
+                "loopback TCP port, 0 = ephemeral; used when --unix "
+                "is empty");
+    args.addInt("threads",
+                static_cast<std::int64_t>(envSize("GWS_THREADS", 0)),
+                "worker threads of the runtime pool, 0 = hardware "
+                "concurrency (default from GWS_THREADS)");
+    args.addInt("max-connections", 16,
+                "concurrent connection cap (ServerBusy beyond)");
+    args.addInt("max-inflight", 8,
+                "concurrent upload/query cap (ServerBusy beyond)");
+    args.addInt("max-resident-mb", 256,
+                "LRU bound on resident session bytes, in MiB");
+    args.addInt("idle-ttl-s", 300,
+                "evict sessions idle longer than this, in seconds");
+    args.addInt("max-sessions", 64, "hard cap on live sessions");
+    args.addString("trace-out", "",
+                   "record a Chrome/Perfetto trace to this file "
+                   "(flushed on drain)");
+    args.addString("metrics-out", "",
+                   "export the metrics registry as JSON on drain");
+    args.addString("metrics-text-out", "",
+                   "export the metrics registry as Prometheus text "
+                   "exposition on drain");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    RuntimeConfig rc = runtimeConfig();
+    const std::int64_t threads = args.getInt("threads");
+    rc.threads =
+        threads <= 0 ? 0 : static_cast<std::size_t>(threads);
+    setRuntimeConfig(rc);
+
+    const std::string trace_out = args.getString("trace-out");
+    if (!trace_out.empty()) {
+        obs::setTraceOutputPath(trace_out);
+        if (!obs::traceEnabled())
+            obs::traceBegin();
+    }
+    const std::string metrics_out = args.getString("metrics-out");
+    if (!metrics_out.empty())
+        obs::setMetricsOutputPath(metrics_out);
+    const std::string metrics_text_out =
+        args.getString("metrics-text-out");
+    if (!metrics_text_out.empty())
+        obs::setMetricsTextOutputPath(metrics_text_out);
+
+    ServerConfig cfg;
+    cfg.unixPath = args.getString("unix");
+    cfg.tcpPort = static_cast<std::uint16_t>(args.getInt("port"));
+    cfg.maxConnections =
+        static_cast<std::size_t>(args.getInt("max-connections"));
+    cfg.maxInflightWork =
+        static_cast<std::size_t>(args.getInt("max-inflight"));
+    cfg.registry.maxResidentBytes =
+        static_cast<std::size_t>(args.getInt("max-resident-mb"))
+        << 20;
+    cfg.registry.idleTtlNs =
+        static_cast<std::uint64_t>(args.getInt("idle-ttl-s")) *
+        1000ull * 1000ull * 1000ull;
+    cfg.registry.maxSessions =
+        static_cast<std::size_t>(args.getInt("max-sessions"));
+
+    try {
+        Server server(cfg);
+        server.start();
+        std::printf("LISTENING %s\n", server.endpoint().c_str());
+        std::fflush(stdout);
+        return server.runUntilSignal();
+    } catch (const ServeError &e) {
+        GWS_FATAL("gws_served: ", e.what());
+    } catch (const std::exception &e) {
+        GWS_FATAL("gws_served: unexpected: ", e.what());
+    }
+}

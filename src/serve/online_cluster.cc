@@ -1,0 +1,137 @@
+#include "serve/online_cluster.hh"
+
+#include <limits>
+
+#include "cluster/feature_matrix.hh"
+#include "cluster/kmeans.hh"
+#include "obs/metrics.hh"
+
+namespace gws {
+namespace serve {
+
+namespace {
+
+obs::Counter &
+refinementCounter()
+{
+    static obs::Counter &c =
+        obs::metricsRegistry().counter("gws.serve.online.refinements");
+    return c;
+}
+
+} // namespace
+
+OnlineClusterer::OnlineClusterer(OnlineClusterConfig config)
+    : cfg(config)
+{
+}
+
+double
+OnlineClusterer::efficiency() const
+{
+    if (points.empty())
+        return 0.0;
+    return 1.0 - static_cast<double>(centroids.size()) /
+                     static_cast<double>(points.size());
+}
+
+std::size_t
+OnlineClusterer::residentBytes() const
+{
+    // Points dominate; centroids and assignments ride along.
+    return (points.size() + centroids.size()) * sizeof(FeatureVector) +
+           assign.size() * sizeof(std::uint32_t);
+}
+
+void
+OnlineClusterer::addFrame(const FeatureVector &feature)
+{
+    const double r2 = cfg.radius * cfg.radius;
+    std::size_t best = centroids.size();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d2 = feature.squaredDistance(centroids[c]);
+        if (d2 < best_d2) {
+            best_d2 = d2;
+            best = c;
+        }
+    }
+
+    points.push_back(feature);
+    if (best == centroids.size() || best_d2 > r2) {
+        // Found a new cluster led by this frame.
+        assign.push_back(static_cast<std::uint32_t>(centroids.size()));
+        centroids.push_back(feature);
+        counts.push_back(1);
+    } else {
+        // Join: centroid moves to the incremental member mean.
+        assign.push_back(static_cast<std::uint32_t>(best));
+        counts[best] += 1;
+        const double inv = 1.0 / static_cast<double>(counts[best]);
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            centroids[best].at(d) +=
+                (feature.at(d) - centroids[best].at(d)) * inv;
+    }
+
+    ++framesSinceRefine;
+    const bool count_trip = framesSinceRefine >= cfg.refineEveryFrames;
+    bool drift_trip = false;
+    if (!count_trip && cfg.driftCheckEvery > 0 &&
+        framesSinceRefine % cfg.driftCheckEvery == 0) {
+        drift = computeDrift();
+        drift_trip = drift > cfg.driftThreshold;
+    }
+    if (count_trip || drift_trip)
+        refine();
+}
+
+double
+OnlineClusterer::computeDrift() const
+{
+    if (points.empty())
+        return 0.0;
+    const std::size_t n = points.size();
+    const double r2 = cfg.radius * cfg.radius;
+
+    // One SoA pass per centroid through the shared batch kernel; a
+    // point only consults the column of its own cluster.
+    FeatureMatrix matrix(points);
+    std::vector<double> dist(n);
+    std::size_t outside = 0;
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        matrix.squaredDistanceBatch(0, n, centroids[c], dist.data());
+        for (std::size_t i = 0; i < n; ++i)
+            if (assign[i] == c && dist[i] > r2)
+                ++outside;
+    }
+    return static_cast<double>(outside) / static_cast<double>(n);
+}
+
+void
+OnlineClusterer::refine()
+{
+    framesSinceRefine = 0;
+    if (points.size() < 2 || centroids.size() < 2) {
+        drift = 0.0;
+        return;
+    }
+
+    KMeansConfig kc;
+    kc.k = centroids.size();
+    kc.maxIterations = cfg.refineMaxIterations;
+    kc.restarts = 1;
+    kc.seed = cfg.seed;
+    const Clustering refined = kmeans(points, kc);
+
+    assign = refined.assignment;
+    centroids = refined.centroids;
+    counts.assign(refined.k, 0);
+    for (std::uint32_t a : assign)
+        counts[a] += 1;
+    ++refineCount;
+    refinementCounter().increment();
+    drift = computeDrift();
+}
+
+} // namespace serve
+} // namespace gws

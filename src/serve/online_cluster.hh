@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Per-session online clustering over frame-level features.
+ *
+ * The batch pipeline clusters a finished corpus in one shot; a
+ * serving session's frames arrive one at a time and the session's
+ * cluster structure must stay current without re-running the corpus
+ * clustering per upload ("Characterizing and Subsetting Big Data
+ * Workloads" shows subset quality decays when the corpus grows past
+ * its clustering). The online clusterer keeps a two-speed structure:
+ *
+ *  - arrival path: each frame (summarized as the mean of its draws'
+ *    micro-arch-independent feature vectors) joins the nearest
+ *    existing leader within a radius or founds a new cluster, with
+ *    the leader centroid updated as an incremental mean — O(k) per
+ *    frame;
+ *  - refinement path: once the session has grown by a frame-count
+ *    threshold, or the drift check (batch distances through the SoA
+ *    FeatureMatrix kernel) finds too many frames outside their
+ *    cluster radius, the accumulated points are re-clustered with
+ *    k-means at the current k — the Hamerly-bounded fast path, one
+ *    restart, fixed seed.
+ *
+ * This structure powers the Stats reply and the staleness signal for
+ * the cached representative set; the representative *query* itself
+ * always reflects the batch pipeline bit-identically (the server
+ * memoizes it per frame count).
+ */
+
+#ifndef GWS_SERVE_ONLINE_CLUSTER_HH
+#define GWS_SERVE_ONLINE_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "features/feature_vector.hh"
+
+namespace gws {
+namespace serve {
+
+/** Knobs of the online frame clustering. */
+struct OnlineClusterConfig
+{
+    /**
+     * Join radius in (unnormalized) frame-feature distance. Frame
+     * features are means of per-draw log-scale features, so
+     * like-phase frames sit well inside 1.0 of each other.
+     */
+    double radius = 1.0;
+
+    /** Frame-count refinement threshold: refine after this many new
+     *  frames since the last refinement. */
+    std::size_t refineEveryFrames = 48;
+
+    /** Drift threshold: refine when more than this fraction of
+     *  frames sit outside their cluster's radius. */
+    double driftThreshold = 0.25;
+
+    /** How often (in frames) the drift check runs. */
+    std::size_t driftCheckEvery = 16;
+
+    /** Max Lloyd iterations per refinement. */
+    std::size_t refineMaxIterations = 25;
+
+    /** Seed of the refinement k-means. */
+    std::uint64_t seed = 0x9e55u;
+};
+
+/** Incremental leader clustering with periodic k-means refinement. */
+class OnlineClusterer
+{
+  public:
+    explicit OnlineClusterer(OnlineClusterConfig config = {});
+
+    /**
+     * Assign one arriving frame feature: join the nearest leader
+     * within the radius (updating its centroid as an incremental
+     * mean) or found a new cluster; then run the drift check /
+     * refinement if a threshold tripped.
+     */
+    void addFrame(const FeatureVector &feature);
+
+    /** Frames assigned so far. */
+    std::size_t frames() const { return points.size(); }
+
+    /** Current cluster count. */
+    std::size_t clusters() const { return centroids.size(); }
+
+    /** k-means refinements run so far. */
+    std::uint32_t refinements() const { return refineCount; }
+
+    /** Last measured drift (fraction of frames outside the radius). */
+    double lastDrift() const { return drift; }
+
+    /** Online clustering efficiency, 1 - k/n (0 when empty). */
+    double efficiency() const;
+
+    /** Frame index -> cluster index. */
+    const std::vector<std::uint32_t> &assignment() const
+    {
+        return assign;
+    }
+
+    /** Approximate bytes pinned by the accumulated features. */
+    std::size_t residentBytes() const;
+
+  private:
+    /** Fraction of points outside their centroid's radius. */
+    double computeDrift() const;
+
+    /** Re-cluster all points at the current k (Hamerly fast path). */
+    void refine();
+
+    OnlineClusterConfig cfg;
+    std::vector<FeatureVector> points;
+    std::vector<FeatureVector> centroids;
+    std::vector<std::size_t> counts;
+    std::vector<std::uint32_t> assign;
+    std::size_t framesSinceRefine = 0;
+    std::uint32_t refineCount = 0;
+    double drift = 0.0;
+};
+
+} // namespace serve
+} // namespace gws
+
+#endif // GWS_SERVE_ONLINE_CLUSTER_HH

@@ -1,0 +1,496 @@
+#include "serve/protocol.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gws {
+namespace serve {
+
+const char *
+toString(MsgKind kind)
+{
+    switch (kind) {
+    case MsgKind::Ping: return "Ping";
+    case MsgKind::OpenSession: return "OpenSession";
+    case MsgKind::UploadFrames: return "UploadFrames";
+    case MsgKind::Query: return "Query";
+    case MsgKind::Stats: return "Stats";
+    case MsgKind::CloseSession: return "CloseSession";
+    case MsgKind::MetricsScrape: return "MetricsScrape";
+    case MsgKind::Pong: return "Pong";
+    case MsgKind::SessionOpened: return "SessionOpened";
+    case MsgKind::FramesAccepted: return "FramesAccepted";
+    case MsgKind::Representatives: return "Representatives";
+    case MsgKind::StatsReply: return "StatsReply";
+    case MsgKind::Closed: return "Closed";
+    case MsgKind::MetricsReply: return "MetricsReply";
+    case MsgKind::ErrorReply: return "ErrorReply";
+    }
+    return "unknown";
+}
+
+const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::BadRequest: return "BadRequest";
+    case ErrorCode::ServerBusy: return "ServerBusy";
+    case ErrorCode::UnknownSession: return "UnknownSession";
+    case ErrorCode::SessionEvicted: return "SessionEvicted";
+    case ErrorCode::ShuttingDown: return "ShuttingDown";
+    case ErrorCode::Internal: return "Internal";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using Reader = ByteReader<ServeError>;
+
+bool
+knownKind(std::uint8_t v)
+{
+    return v <= static_cast<std::uint8_t>(MsgKind::MetricsScrape) ||
+           (v >= static_cast<std::uint8_t>(MsgKind::Pong) &&
+            v <= static_cast<std::uint8_t>(MsgKind::MetricsReply)) ||
+           v == static_cast<std::uint8_t>(MsgKind::ErrorReply);
+}
+
+/** Start a reader over `payload` and consume the expected kind byte. */
+Reader
+openBody(const std::string &payload, MsgKind expect)
+{
+    Reader r(payload, "serve message");
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(expect))
+        r.fail(std::string("serve message kind ") + std::to_string(kind) +
+               " where " + toString(expect) + " was expected");
+    return r;
+}
+
+/** Enforce canonical strictness: every byte consumed. */
+template <typename T>
+T
+closeBody(Reader &r, T msg)
+{
+    if (!r.exhausted())
+        r.fail("serve message has " + std::to_string(r.remaining()) +
+               " trailing bytes");
+    return msg;
+}
+
+ByteWriter
+openWriter(MsgKind kind)
+{
+    ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(kind));
+    return w;
+}
+
+} // namespace
+
+std::string
+encode(const PingMsg &)
+{
+    return openWriter(MsgKind::Ping).data();
+}
+
+std::string
+encode(const PongMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::Pong);
+    w.str(m.protocol);
+    w.u64(m.uptimeNs);
+    w.u64(m.sessions);
+    return w.data();
+}
+
+std::string
+encode(const OpenSessionMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::OpenSession);
+    w.str(m.name);
+    return w.data();
+}
+
+std::string
+encode(const SessionOpenedMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::SessionOpened);
+    w.u64(m.sessionId);
+    return w.data();
+}
+
+std::string
+encode(const UploadFramesMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::UploadFrames);
+    w.u64(m.sessionId);
+    w.str(m.traceBlob);
+    return w.data();
+}
+
+std::string
+encode(const FramesAcceptedMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::FramesAccepted);
+    w.u64(m.totalFrames);
+    w.u64(m.totalDraws);
+    w.u32(m.onlineClusters);
+    w.u32(m.refinements);
+    return w.data();
+}
+
+std::string
+encode(const QueryMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::Query);
+    w.u64(m.sessionId);
+    return w.data();
+}
+
+std::string
+encode(const RepresentativesMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::Representatives);
+    w.str(m.subsetBlob);
+    return w.data();
+}
+
+std::string
+encode(const StatsMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::Stats);
+    w.u64(m.sessionId);
+    return w.data();
+}
+
+std::string
+encode(const StatsReplyMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::StatsReply);
+    w.u64(m.frames);
+    w.u64(m.draws);
+    w.u64(m.residentBytes);
+    w.u32(m.onlineClusters);
+    w.u32(m.refinements);
+    w.f64(m.drift);
+    w.f64(m.efficiency);
+    return w.data();
+}
+
+std::string
+encode(const CloseSessionMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::CloseSession);
+    w.u64(m.sessionId);
+    return w.data();
+}
+
+std::string
+encode(const ClosedMsg &)
+{
+    return openWriter(MsgKind::Closed).data();
+}
+
+std::string
+encode(const MetricsScrapeMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::MetricsScrape);
+    w.u8(static_cast<std::uint8_t>(m.format));
+    return w.data();
+}
+
+std::string
+encode(const MetricsReplyMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::MetricsReply);
+    w.str(m.text);
+    return w.data();
+}
+
+std::string
+encode(const ErrorReplyMsg &m)
+{
+    ByteWriter w = openWriter(MsgKind::ErrorReply);
+    w.u8(static_cast<std::uint8_t>(m.code));
+    w.str(m.message);
+    return w.data();
+}
+
+MsgKind
+peekKind(const std::string &payload)
+{
+    if (payload.empty())
+        throw ServeError("serve message payload is empty", 0);
+    const std::uint8_t v = static_cast<std::uint8_t>(payload[0]);
+    if (!knownKind(v))
+        throw ServeError("unknown serve message kind " +
+                             std::to_string(v),
+                         0);
+    return static_cast<MsgKind>(v);
+}
+
+PingMsg
+decodePing(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Ping);
+    return closeBody(r, PingMsg{});
+}
+
+PongMsg
+decodePong(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Pong);
+    PongMsg m;
+    m.protocol = r.str();
+    m.uptimeNs = r.u64();
+    m.sessions = r.u64();
+    return closeBody(r, std::move(m));
+}
+
+OpenSessionMsg
+decodeOpenSession(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::OpenSession);
+    OpenSessionMsg m;
+    m.name = r.str();
+    if (m.name.empty())
+        r.fail("OpenSession name must not be empty");
+    return closeBody(r, std::move(m));
+}
+
+SessionOpenedMsg
+decodeSessionOpened(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::SessionOpened);
+    SessionOpenedMsg m;
+    m.sessionId = r.u64();
+    return closeBody(r, m);
+}
+
+UploadFramesMsg
+decodeUploadFrames(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::UploadFrames);
+    UploadFramesMsg m;
+    m.sessionId = r.u64();
+    m.traceBlob = r.str();
+    if (m.traceBlob.empty())
+        r.fail("UploadFrames trace blob must not be empty");
+    return closeBody(r, std::move(m));
+}
+
+FramesAcceptedMsg
+decodeFramesAccepted(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::FramesAccepted);
+    FramesAcceptedMsg m;
+    m.totalFrames = r.u64();
+    m.totalDraws = r.u64();
+    m.onlineClusters = r.u32();
+    m.refinements = r.u32();
+    return closeBody(r, m);
+}
+
+QueryMsg
+decodeQuery(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Query);
+    QueryMsg m;
+    m.sessionId = r.u64();
+    return closeBody(r, m);
+}
+
+RepresentativesMsg
+decodeRepresentatives(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Representatives);
+    RepresentativesMsg m;
+    m.subsetBlob = r.str();
+    return closeBody(r, std::move(m));
+}
+
+StatsMsg
+decodeStats(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Stats);
+    StatsMsg m;
+    m.sessionId = r.u64();
+    return closeBody(r, m);
+}
+
+StatsReplyMsg
+decodeStatsReply(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::StatsReply);
+    StatsReplyMsg m;
+    m.frames = r.u64();
+    m.draws = r.u64();
+    m.residentBytes = r.u64();
+    m.onlineClusters = r.u32();
+    m.refinements = r.u32();
+    m.drift = r.f64();
+    m.efficiency = r.f64();
+    return closeBody(r, m);
+}
+
+CloseSessionMsg
+decodeCloseSession(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::CloseSession);
+    CloseSessionMsg m;
+    m.sessionId = r.u64();
+    return closeBody(r, m);
+}
+
+ClosedMsg
+decodeClosed(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::Closed);
+    return closeBody(r, ClosedMsg{});
+}
+
+MetricsScrapeMsg
+decodeMetricsScrape(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::MetricsScrape);
+    MetricsScrapeMsg m;
+    const std::uint8_t fmt = r.u8();
+    if (fmt > static_cast<std::uint8_t>(MetricsFormat::PrometheusText))
+        r.fail("MetricsScrape format " + std::to_string(fmt) +
+               " is out of range");
+    m.format = static_cast<MetricsFormat>(fmt);
+    return closeBody(r, m);
+}
+
+MetricsReplyMsg
+decodeMetricsReply(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::MetricsReply);
+    MetricsReplyMsg m;
+    m.text = r.str();
+    return closeBody(r, std::move(m));
+}
+
+ErrorReplyMsg
+decodeErrorReply(const std::string &payload)
+{
+    Reader r = openBody(payload, MsgKind::ErrorReply);
+    ErrorReplyMsg m;
+    const std::uint8_t code = r.u8();
+    if (code > static_cast<std::uint8_t>(ErrorCode::Internal))
+        r.fail("ErrorReply code " + std::to_string(code) +
+               " is out of range");
+    m.code = static_cast<ErrorCode>(code);
+    m.message = r.str();
+    return closeBody(r, std::move(m));
+}
+
+// ------------------------------------------------ socket framing ----
+
+namespace {
+
+/** Write all of buf, retrying EINTR and short writes. */
+void
+writeAll(int fd, const char *buf, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::send(fd, buf + done, len - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServeError(std::string("serve socket write failed: ") +
+                             std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read exactly len bytes. Returns the bytes read, which is < len only
+ * on EOF (so the caller can tell a clean close from truncation).
+ */
+std::size_t
+readUpTo(int fd, char *buf, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::recv(fd, buf + done, len - done, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServeError(std::string("serve socket read failed: ") +
+                             std::strerror(errno));
+        }
+        if (n == 0)
+            break;
+        done += static_cast<std::size_t>(n);
+    }
+    return done;
+}
+
+} // namespace
+
+void
+sendFrame(int fd, const std::string &payload)
+{
+    ByteWriter header;
+    header.u32(serveMagic);
+    header.u32(serveProtocolVersion);
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    header.u32(fnv1a32(payload));
+    std::string frame = header.data();
+    frame += payload;
+    writeAll(fd, frame.data(), frame.size());
+}
+
+bool
+recvFrame(int fd, std::string &payload)
+{
+    char raw_header[framedHeaderBytes];
+    const std::size_t got = readUpTo(fd, raw_header, sizeof(raw_header));
+    if (got == 0)
+        return false; // clean EOF at a frame boundary
+    if (got != sizeof(raw_header))
+        throw ServeError("serve frame header truncated: got " +
+                             std::to_string(got) + " of " +
+                             std::to_string(sizeof(raw_header)) + " bytes",
+                         static_cast<std::int64_t>(got));
+
+    ByteReader<ServeError> header(
+        std::string(raw_header, sizeof(raw_header)), "serve frame");
+    if (header.u32() != serveMagic)
+        throw ServeError("bad magic: not a gws serve frame", 0);
+    const std::uint32_t ver = header.u32();
+    if (ver != serveProtocolVersion)
+        throw ServeError("unsupported serve protocol version " +
+                             std::to_string(ver) + " (expected " +
+                             std::to_string(serveProtocolVersion) + ")",
+                         4);
+    const std::uint32_t size = header.u32();
+    if (size > framedPayloadCap())
+        throw ServeError("implausible serve frame payload size " +
+                             std::to_string(size),
+                         8);
+    const std::uint32_t expect_sum = header.u32();
+
+    payload.assign(size, '\0');
+    const std::size_t body = readUpTo(fd, payload.data(), size);
+    if (body != size)
+        throw ServeError("serve frame payload truncated: got " +
+                             std::to_string(body) + " of " +
+                             std::to_string(size) + " bytes",
+                         static_cast<std::int64_t>(framedHeaderBytes +
+                                                   body));
+    if (fnv1a32(payload) != expect_sum)
+        throw ServeError("serve frame checksum mismatch (corrupt frame)");
+    return true;
+}
+
+} // namespace serve
+} // namespace gws

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * The gws.serve.v1 wire protocol: framed request/reply messages
+ * exchanged between gws_served and its clients over a stream socket
+ * (Unix-domain or TCP).
+ *
+ * Every message uses the shared 16-byte framing from util/codec.hh —
+ * { magic "GWSV", protocol version, payload size, FNV-1a-32 payload
+ * checksum } — so serve traffic fails exactly the way the file
+ * formats do: a typed ServeError with byte-offset context, never UB
+ * or an unbounded allocation. Payloads decode through the same
+ * bounds-checked ByteReader the fuzz harness hammers, with canonical
+ * strictness (range-checked enums, exhaustion checks); trace chunks
+ * and subset replies embed the existing fuzz-hardened trace/subset
+ * codecs wholesale.
+ *
+ * Payload layout: one message-kind byte followed by kind-specific
+ * fields. Requests occupy 0..127, replies 128..255.
+ */
+
+#ifndef GWS_SERVE_PROTOCOL_HH
+#define GWS_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/codec.hh"
+#include "util/error.hh"
+
+namespace gws {
+namespace serve {
+
+/**
+ * Error thrown when a serve-protocol frame or payload cannot be
+ * decoded, or when socket I/O fails mid-message. Rooted at IoError
+ * like the file-format errors.
+ */
+class ServeError : public IoError
+{
+  public:
+    using IoError::IoError;
+};
+
+/** Frame magic: "GWSV" little-endian. */
+constexpr std::uint32_t serveMagic = 0x56535747u;
+
+/** Wire protocol version. */
+constexpr std::uint32_t serveProtocolVersion = 1;
+
+/** Message kinds (first payload byte). */
+enum class MsgKind : std::uint8_t
+{
+    // Requests.
+    Ping = 0,
+    OpenSession = 1,
+    UploadFrames = 2,
+    Query = 3,
+    Stats = 4,
+    CloseSession = 5,
+    MetricsScrape = 6,
+
+    // Replies.
+    Pong = 128,
+    SessionOpened = 129,
+    FramesAccepted = 130,
+    Representatives = 131,
+    StatsReply = 132,
+    Closed = 133,
+    MetricsReply = 134,
+    ErrorReply = 255,
+};
+
+/** Printable kind name. */
+const char *toString(MsgKind kind);
+
+/** Typed error codes carried by ErrorReply. */
+enum class ErrorCode : std::uint8_t
+{
+    /** Malformed or semantically invalid request. */
+    BadRequest = 0,
+
+    /** The server's work bound is exceeded; retry later. */
+    ServerBusy = 1,
+
+    /** The session id was never issued (or already closed). */
+    UnknownSession = 2,
+
+    /** The session was evicted (idle TTL or memory pressure). */
+    SessionEvicted = 3,
+
+    /** The server is draining for shutdown. */
+    ShuttingDown = 4,
+
+    /** Unexpected server-side failure. */
+    Internal = 5,
+};
+
+/** Printable error-code name. */
+const char *toString(ErrorCode code);
+
+/** Requested format of a MetricsScrape. */
+enum class MetricsFormat : std::uint8_t
+{
+    /** gws.metrics.v1 JSON. */
+    Json = 0,
+
+    /** Prometheus text exposition (obs/metrics_text.hh). */
+    PrometheusText = 1,
+};
+
+// ------------------------------------------------ message structs ----
+
+/** Ping request (empty body). */
+struct PingMsg
+{
+};
+
+/** Pong reply. */
+struct PongMsg
+{
+    /** Protocol identifier, "gws.serve.v1". */
+    std::string protocol;
+
+    /** Nanoseconds since the server started. */
+    std::uint64_t uptimeNs = 0;
+
+    /** Live session count. */
+    std::uint64_t sessions = 0;
+};
+
+/** OpenSession request. */
+struct OpenSessionMsg
+{
+    /** Workload name; becomes the session trace's name. */
+    std::string name;
+};
+
+/** SessionOpened reply. */
+struct SessionOpenedMsg
+{
+    /** Server-issued session id. */
+    std::uint64_t sessionId = 0;
+};
+
+/** UploadFrames request: a chunk of the session's frame sequence. */
+struct UploadFramesMsg
+{
+    std::uint64_t sessionId = 0;
+
+    /**
+     * A complete serialized trace image (writeTrace) whose frames are
+     * the next frames of the session, in order, and whose resource
+     * tables must match every earlier chunk's. Decoded server-side by
+     * the fuzz-hardened trace codec.
+     */
+    std::string traceBlob;
+};
+
+/** FramesAccepted reply. */
+struct FramesAcceptedMsg
+{
+    /** Session frame total after this upload. */
+    std::uint64_t totalFrames = 0;
+
+    /** Session draw total after this upload. */
+    std::uint64_t totalDraws = 0;
+
+    /** Online frame-cluster count after incremental assignment. */
+    std::uint32_t onlineClusters = 0;
+
+    /** k-means refinements run so far in this session. */
+    std::uint32_t refinements = 0;
+};
+
+/** Query request: the representative set for a session. */
+struct QueryMsg
+{
+    std::uint64_t sessionId = 0;
+};
+
+/** Representatives reply. */
+struct RepresentativesMsg
+{
+    /**
+     * A complete serialized subset image (writeSubset) of the batch
+     * pipeline's output over the session's frame sequence —
+     * bit-identical to running buildWorkloadSubset on the same frames
+     * locally (the A/B contract test_serve enforces).
+     */
+    std::string subsetBlob;
+};
+
+/** Stats request. */
+struct StatsMsg
+{
+    std::uint64_t sessionId = 0;
+};
+
+/** StatsReply: one session's live state. */
+struct StatsReplyMsg
+{
+    std::uint64_t frames = 0;
+    std::uint64_t draws = 0;
+
+    /** Bytes this session pins in the registry's resident bound. */
+    std::uint64_t residentBytes = 0;
+
+    std::uint32_t onlineClusters = 0;
+    std::uint32_t refinements = 0;
+
+    /** Fraction of frames drifted outside their cluster radius. */
+    double drift = 0.0;
+
+    /** Online clustering efficiency, 1 - k/n. */
+    double efficiency = 0.0;
+};
+
+/** CloseSession request. */
+struct CloseSessionMsg
+{
+    std::uint64_t sessionId = 0;
+};
+
+/** Closed reply (empty body). */
+struct ClosedMsg
+{
+};
+
+/** MetricsScrape request. */
+struct MetricsScrapeMsg
+{
+    MetricsFormat format = MetricsFormat::Json;
+};
+
+/** MetricsReply: the serialized registry. */
+struct MetricsReplyMsg
+{
+    std::string text;
+};
+
+/** ErrorReply: a typed failure. */
+struct ErrorReplyMsg
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+// ------------------------------------------------ encode / decode ----
+
+/** Encode one message into a frame payload (kind byte + body). */
+std::string encode(const PingMsg &m);
+std::string encode(const PongMsg &m);
+std::string encode(const OpenSessionMsg &m);
+std::string encode(const SessionOpenedMsg &m);
+std::string encode(const UploadFramesMsg &m);
+std::string encode(const FramesAcceptedMsg &m);
+std::string encode(const QueryMsg &m);
+std::string encode(const RepresentativesMsg &m);
+std::string encode(const StatsMsg &m);
+std::string encode(const StatsReplyMsg &m);
+std::string encode(const CloseSessionMsg &m);
+std::string encode(const ClosedMsg &m);
+std::string encode(const MetricsScrapeMsg &m);
+std::string encode(const MetricsReplyMsg &m);
+std::string encode(const ErrorReplyMsg &m);
+
+/** Peek the kind byte of a payload; throws ServeError when empty or
+ *  the byte is not a known MsgKind. */
+MsgKind peekKind(const std::string &payload);
+
+/**
+ * Decode one message body. The payload must carry the matching kind
+ * byte and decode exhaustively (trailing bytes are an error — the
+ * same canonical strictness as the file formats). Throws ServeError.
+ */
+PingMsg decodePing(const std::string &payload);
+PongMsg decodePong(const std::string &payload);
+OpenSessionMsg decodeOpenSession(const std::string &payload);
+SessionOpenedMsg decodeSessionOpened(const std::string &payload);
+UploadFramesMsg decodeUploadFrames(const std::string &payload);
+FramesAcceptedMsg decodeFramesAccepted(const std::string &payload);
+QueryMsg decodeQuery(const std::string &payload);
+RepresentativesMsg decodeRepresentatives(const std::string &payload);
+StatsMsg decodeStats(const std::string &payload);
+StatsReplyMsg decodeStatsReply(const std::string &payload);
+CloseSessionMsg decodeCloseSession(const std::string &payload);
+ClosedMsg decodeClosed(const std::string &payload);
+MetricsScrapeMsg decodeMetricsScrape(const std::string &payload);
+MetricsReplyMsg decodeMetricsReply(const std::string &payload);
+ErrorReplyMsg decodeErrorReply(const std::string &payload);
+
+// ------------------------------------------------ socket framing ----
+
+/**
+ * Write one framed payload to a connected stream socket, retrying
+ * short writes. Throws ServeError on socket failure.
+ */
+void sendFrame(int fd, const std::string &payload);
+
+/**
+ * Read one framed payload from a connected stream socket: header,
+ * magic/version/size-cap validation (the size cap is the shared
+ * framedPayloadCap()), payload, checksum. Returns false on a clean
+ * EOF at a frame boundary; throws ServeError on truncation,
+ * corruption, or socket failure.
+ */
+bool recvFrame(int fd, std::string &payload);
+
+} // namespace serve
+} // namespace gws
+
+#endif // GWS_SERVE_PROTOCOL_HH

@@ -1,0 +1,693 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "core/subset_io.hh"
+#include "features/extractor.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_text.hh"
+#include "obs/trace.hh"
+#include "runtime/counters.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+namespace gws {
+namespace serve {
+
+namespace {
+
+obs::Counter &
+requestCounter()
+{
+    static obs::Counter &c =
+        obs::metricsRegistry().counter("gws.serve.requests");
+    return c;
+}
+
+obs::Counter &
+busyCounter()
+{
+    static obs::Counter &c =
+        obs::metricsRegistry().counter("gws.serve.busy");
+    return c;
+}
+
+obs::Counter &
+protocolErrorCounter()
+{
+    static obs::Counter &c =
+        obs::metricsRegistry().counter("gws.serve.protocol_errors");
+    return c;
+}
+
+obs::Histogram &
+uploadNsHistogram()
+{
+    static obs::Histogram &h =
+        obs::metricsRegistry().histogram("gws.serve.upload.ns");
+    return h;
+}
+
+obs::Histogram &
+queryNsHistogram()
+{
+    static obs::Histogram &h =
+        obs::metricsRegistry().histogram("gws.serve.query.ns");
+    return h;
+}
+
+obs::Gauge &
+connectionsGauge()
+{
+    static obs::Gauge &g =
+        obs::metricsRegistry().gauge("gws.serve.connections");
+    return g;
+}
+
+std::string
+errorReply(ErrorCode code, const std::string &message)
+{
+    ErrorReplyMsg err;
+    err.code = code;
+    err.message = message;
+    return encode(err);
+}
+
+/** RAII work permit against the bounded inflight-work budget. */
+class WorkPermit
+{
+  public:
+    WorkPermit(std::atomic<std::size_t> &inflight, std::size_t bound)
+        : counter(inflight)
+    {
+        const std::size_t prev =
+            counter.fetch_add(1, std::memory_order_acq_rel);
+        granted = prev < bound;
+        if (!granted)
+            counter.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    ~WorkPermit()
+    {
+        if (granted)
+            counter.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    WorkPermit(const WorkPermit &) = delete;
+    WorkPermit &operator=(const WorkPermit &) = delete;
+
+    bool ok() const { return granted; }
+
+  private:
+    std::atomic<std::size_t> &counter;
+    bool granted = false;
+};
+
+/** Self-pipe the signal handlers write to (runUntilSignal). */
+std::atomic<int> g_signal_wake_fd{-1};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char byte = 1;
+        // Best effort; the poll timeout backstops a full pipe.
+        (void)!::write(fd, &byte, 1);
+    }
+}
+
+/**
+ * The per-frame feature the online clusterer consumes: the mean of
+ * the frame's per-draw feature vectors. Frames are the arrival unit
+ * of the serve protocol, so the session-level cluster structure
+ * tracks frames, not draws.
+ */
+FeatureVector
+frameFeature(const FeatureExtractor &extractor, const Frame &frame)
+{
+    const std::vector<FeatureVector> draws =
+        extractor.extractFrame(frame);
+    FeatureVector mean;
+    const double inv = 1.0 / static_cast<double>(draws.size());
+    for (const FeatureVector &v : draws)
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            mean.at(d) += v.at(d) * inv;
+    return mean;
+}
+
+std::uint64_t
+traceDrawCount(const Trace &trace)
+{
+    std::uint64_t draws = 0;
+    for (const Frame &frame : trace.frames())
+        draws += frame.draws().size();
+    return draws;
+}
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : cfg(std::move(config)), registry(cfg.registry)
+{
+}
+
+Server::~Server() { stop(); }
+
+void
+Server::start()
+{
+    if (running.load(std::memory_order_acquire))
+        return;
+    stopping.store(false, std::memory_order_release);
+
+    if (!cfg.unixPath.empty()) {
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            throw ServeError("serve: socket(AF_UNIX) failed: " +
+                             std::string(std::strerror(errno)));
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (cfg.unixPath.size() >= sizeof(addr.sun_path))
+            throw ServeError("serve: unix socket path too long: " +
+                             cfg.unixPath);
+        std::strncpy(addr.sun_path, cfg.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(cfg.unixPath.c_str());
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            throw ServeError("serve: bind(" + cfg.unixPath +
+                             ") failed: " +
+                             std::string(std::strerror(errno)));
+    } else {
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            throw ServeError("serve: socket(AF_INET) failed: " +
+                             std::string(std::strerror(errno)));
+        const int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(cfg.tcpPort);
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0)
+            throw ServeError("serve: bind(loopback TCP) failed: " +
+                             std::string(std::strerror(errno)));
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) != 0)
+            throw ServeError("serve: getsockname failed: " +
+                             std::string(std::strerror(errno)));
+        port = ntohs(bound.sin_port);
+    }
+
+    if (::listen(listenFd, 16) != 0)
+        throw ServeError("serve: listen failed: " +
+                         std::string(std::strerror(errno)));
+    if (::pipe(wakePipe) != 0)
+        throw ServeError("serve: pipe failed: " +
+                         std::string(std::strerror(errno)));
+
+    startedAtNs = runtime_detail::nowNs();
+    running.store(true, std::memory_order_release);
+    acceptThread = std::thread([this] { acceptLoop(); });
+    GWS_INFORM("gws_served listening on ", endpoint());
+}
+
+void
+Server::stop()
+{
+    if (!running.load(std::memory_order_acquire))
+        return;
+    stopping.store(true, std::memory_order_release);
+    const char byte = 1;
+    (void)!::write(wakePipe[1], &byte, 1);
+
+    if (acceptThread.joinable())
+        acceptThread.join();
+    reapConnections(true);
+
+    ::close(listenFd);
+    listenFd = -1;
+    ::close(wakePipe[0]);
+    ::close(wakePipe[1]);
+    wakePipe[0] = wakePipe[1] = -1;
+    if (!cfg.unixPath.empty())
+        ::unlink(cfg.unixPath.c_str());
+
+    running.store(false, std::memory_order_release);
+    obs::flushObservability();
+    GWS_INFORM("gws_served drained and stopped");
+}
+
+int
+Server::runUntilSignal()
+{
+    start();
+
+    int signalPipe[2];
+    if (::pipe(signalPipe) != 0)
+        throw ServeError("serve: signal pipe failed: " +
+                         std::string(std::strerror(errno)));
+    g_signal_wake_fd.store(signalPipe[1], std::memory_order_relaxed);
+
+    struct sigaction action{};
+    action.sa_handler = serveSignalHandler;
+    sigemptyset(&action.sa_mask);
+    struct sigaction oldInt{};
+    struct sigaction oldTerm{};
+    ::sigaction(SIGINT, &action, &oldInt);
+    ::sigaction(SIGTERM, &action, &oldTerm);
+
+    // Block until a signal writes the self-pipe (EINTR also suffices
+    // to fall through to the stopping check).
+    pollfd pfd{};
+    pfd.fd = signalPipe[0];
+    pfd.events = POLLIN;
+    while (true) {
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc > 0 || (rc < 0 && errno != EINTR))
+            break;
+    }
+
+    ::sigaction(SIGINT, &oldInt, nullptr);
+    ::sigaction(SIGTERM, &oldTerm, nullptr);
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+    ::close(signalPipe[0]);
+    ::close(signalPipe[1]);
+
+    GWS_INFORM("gws_served caught shutdown signal; draining");
+    stop();
+    return 0;
+}
+
+std::string
+Server::endpoint() const
+{
+    if (!cfg.unixPath.empty())
+        return "unix:" + cfg.unixPath;
+    return "tcp:127.0.0.1:" + std::to_string(port);
+}
+
+void
+Server::acceptLoop()
+{
+    pollfd fds[2];
+    fds[0].fd = listenFd;
+    fds[0].events = POLLIN;
+    fds[1].fd = wakePipe[0];
+    fds[1].events = POLLIN;
+
+    while (!stopping.load(std::memory_order_acquire)) {
+        fds[0].revents = fds[1].revents = 0;
+        const int rc = ::poll(fds, 2, 200);
+        registry.sweepIdle(runtime_detail::nowNs());
+        reapConnections(false);
+        if (rc <= 0 || (fds[0].revents & POLLIN) == 0)
+            continue;
+
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+
+        if (activeConnections.load(std::memory_order_acquire) >=
+            cfg.maxConnections) {
+            // Accept backpressure: a typed reply, then close.
+            busyCounter().increment();
+            try {
+                sendFrame(fd, errorReply(ErrorCode::ServerBusy,
+                                         "connection limit reached"));
+            } catch (const ServeError &) {
+                // The peer is gone; nothing to report to.
+            }
+            ::close(fd);
+            continue;
+        }
+
+        activeConnections.fetch_add(1, std::memory_order_acq_rel);
+        connectionsGauge().set(static_cast<double>(
+            activeConnections.load(std::memory_order_acquire)));
+        auto conn = std::make_unique<Connection>();
+        Connection *raw = conn.get();
+        {
+            std::lock_guard<std::mutex> lock(connectionsMutex);
+            connections.push_back(std::move(conn));
+        }
+        raw->thread = std::thread([this, fd, raw] {
+            handleConnection(fd);
+            activeConnections.fetch_sub(1, std::memory_order_acq_rel);
+            connectionsGauge().set(static_cast<double>(
+                activeConnections.load(std::memory_order_acquire)));
+            raw->done.store(true, std::memory_order_release);
+        });
+    }
+}
+
+void
+Server::handleConnection(int fd)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+
+    while (!stopping.load(std::memory_order_acquire)) {
+        pfd.revents = 0;
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc <= 0)
+            continue; // timeout: re-check stopping
+        if ((pfd.revents & (POLLERR | POLLNVAL)) != 0)
+            break;
+
+        std::string payload;
+        try {
+            if (!recvFrame(fd, payload))
+                break; // clean EOF
+        } catch (const ServeError &e) {
+            // Corrupt frame: the stream is unsynchronized beyond
+            // repair, so reply (best effort) and drop the peer.
+            protocolErrorCounter().increment();
+            try {
+                sendFrame(fd, errorReply(ErrorCode::BadRequest,
+                                         e.what()));
+            } catch (const ServeError &) {
+            }
+            break;
+        }
+
+        std::string reply;
+        if (stopping.load(std::memory_order_acquire)) {
+            reply = errorReply(ErrorCode::ShuttingDown,
+                               "server is draining");
+        } else {
+            reply = dispatch(payload);
+        }
+        try {
+            sendFrame(fd, reply);
+        } catch (const ServeError &) {
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+std::string
+Server::dispatch(const std::string &payload)
+{
+    requestCounter().increment();
+    try {
+        switch (peekKind(payload)) {
+        case MsgKind::Ping:
+            decodePing(payload);
+            return handlePing();
+        case MsgKind::OpenSession:
+            return handleOpen(payload);
+        case MsgKind::UploadFrames:
+            return handleUpload(payload);
+        case MsgKind::Query:
+            return handleQuery(payload);
+        case MsgKind::Stats:
+            return handleStats(payload);
+        case MsgKind::CloseSession:
+            return handleClose(payload);
+        case MsgKind::MetricsScrape:
+            return handleScrape(payload);
+        default:
+            protocolErrorCounter().increment();
+            return errorReply(ErrorCode::BadRequest,
+                              "not a request kind: " +
+                                  std::string(toString(
+                                      peekKind(payload))));
+        }
+    } catch (const IoError &e) {
+        // Malformed payloads and embedded trace images land here
+        // (ServeError, TraceIoError); client data must never take the
+        // daemon down.
+        protocolErrorCounter().increment();
+        return errorReply(ErrorCode::BadRequest, e.what());
+    } catch (const std::exception &e) {
+        return errorReply(ErrorCode::Internal, e.what());
+    }
+}
+
+std::string
+Server::handlePing()
+{
+    PongMsg pong;
+    pong.protocol = "gws.serve.v1";
+    pong.uptimeNs = runtime_detail::nowNs() - startedAtNs;
+    pong.sessions = registry.sessionCount();
+    return encode(pong);
+}
+
+std::string
+Server::handleOpen(const std::string &payload)
+{
+    const OpenSessionMsg msg = decodeOpenSession(payload);
+    const std::uint64_t id =
+        registry.open(msg.name, runtime_detail::nowNs());
+    if (id == 0) {
+        busyCounter().increment();
+        return errorReply(ErrorCode::ServerBusy,
+                          "session limit reached");
+    }
+    SessionOpenedMsg reply;
+    reply.sessionId = id;
+    return encode(reply);
+}
+
+std::string
+Server::lookupError(LookupStatus status)
+{
+    if (status == LookupStatus::Evicted)
+        return errorReply(ErrorCode::SessionEvicted,
+                          "session was evicted (idle TTL or memory "
+                          "pressure); re-open and re-upload");
+    return errorReply(ErrorCode::UnknownSession,
+                      "no such session id");
+}
+
+std::string
+Server::handleUpload(const std::string &payload)
+{
+    const UploadFramesMsg msg = decodeUploadFrames(payload);
+    WorkPermit permit(inflightWork, cfg.maxInflightWork);
+    if (!permit.ok()) {
+        busyCounter().increment();
+        return errorReply(ErrorCode::ServerBusy,
+                          "inflight-work limit reached; retry");
+    }
+
+    obs::SpanScope span("serve.upload");
+    const std::uint64_t t0 = runtime_detail::nowNs();
+    obs::metricsRegistry().counter("gws.serve.uploads").increment();
+
+    // Decode the chunk through the fuzz-hardened trace codec before
+    // touching the session; a throw here becomes BadRequest upstream.
+    std::istringstream blobStream(msg.traceBlob);
+    const Trace chunk = readTrace(blobStream);
+    if (blobStream.peek() != std::istream::traits_type::eof())
+        throw ServeError(
+            "upload: trailing bytes after the trace image");
+    if (chunk.frameCount() == 0)
+        throw ServeError("upload: chunk has no frames");
+    for (const Frame &frame : chunk.frames())
+        if (frame.draws().empty())
+            throw ServeError(
+                "upload: chunk contains an empty frame");
+
+    std::shared_ptr<Session> session;
+    const LookupStatus status =
+        registry.acquire(msg.sessionId, runtime_detail::nowNs(),
+                         session);
+    if (status != LookupStatus::Found)
+        return lookupError(status);
+
+    FramesAcceptedMsg reply;
+    std::size_t newResident = 0;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->evicted.load(std::memory_order_acquire))
+            return lookupError(LookupStatus::Evicted);
+
+        if (!session->hasTables) {
+            // First chunk: adopt its resource tables wholesale.
+            session->trace.shaders() = chunk.shaders();
+            for (const TextureDesc &t : chunk.textures())
+                session->trace.addTexture(t);
+            for (const RenderTargetDesc &r : chunk.renderTargets())
+                session->trace.addRenderTarget(r);
+            session->hasTables = true;
+        } else {
+            // Later chunks must reference identical tables, or draw
+            // resource ids would silently rebind across chunks.
+            if (!(chunk.shaders() == session->trace.shaders()) ||
+                chunk.textures() != session->trace.textures() ||
+                chunk.renderTargets() !=
+                    session->trace.renderTargets())
+                throw ServeError("upload: chunk resource tables "
+                                 "differ from the session's");
+        }
+
+        // Append the chunk's frames at the session's global frame
+        // indices and feed each one to the online clusterer.
+        const FeatureExtractor extractor(session->trace);
+        for (const Frame &frame : chunk.frames()) {
+            Frame copy(session->trace.frameCount());
+            copy.draws() = frame.draws();
+            session->online.addFrame(frameFeature(extractor, copy));
+            session->trace.addFrame(std::move(copy));
+        }
+        session->uploadedBytes += msg.traceBlob.size();
+
+        reply.totalFrames = session->trace.frameCount();
+        reply.totalDraws = traceDrawCount(session->trace);
+        reply.onlineClusters =
+            static_cast<std::uint32_t>(session->online.clusters());
+        reply.refinements = session->online.refinements();
+
+        newResident = session->uploadedBytes +
+                      session->online.residentBytes() +
+                      session->cachedSubsetBlob.size();
+    }
+    registry.updateResident(msg.sessionId, newResident);
+
+    uploadNsHistogram().record(runtime_detail::nowNs() - t0);
+    return encode(reply);
+}
+
+std::string
+Server::handleQuery(const std::string &payload)
+{
+    const QueryMsg msg = decodeQuery(payload);
+    WorkPermit permit(inflightWork, cfg.maxInflightWork);
+    if (!permit.ok()) {
+        busyCounter().increment();
+        return errorReply(ErrorCode::ServerBusy,
+                          "inflight-work limit reached; retry");
+    }
+
+    obs::SpanScope span("serve.query");
+    const std::uint64_t t0 = runtime_detail::nowNs();
+    obs::metricsRegistry().counter("gws.serve.queries").increment();
+
+    std::shared_ptr<Session> session;
+    const LookupStatus status =
+        registry.acquire(msg.sessionId, runtime_detail::nowNs(),
+                         session);
+    if (status != LookupStatus::Found)
+        return lookupError(status);
+
+    RepresentativesMsg reply;
+    std::size_t newResident = 0;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->evicted.load(std::memory_order_acquire))
+            return lookupError(LookupStatus::Evicted);
+        if (session->trace.frameCount() == 0)
+            throw ServeError("query: session has no frames yet");
+
+        if (session->cachedAtFrames != session->trace.frameCount()) {
+            // The bit-identity contract: the reply IS the batch
+            // pipeline over the session's full frame sequence.
+            const WorkloadSubset subset =
+                buildWorkloadSubset(session->trace, cfg.subset);
+            std::ostringstream out;
+            writeSubset(subset, out);
+            session->cachedSubsetBlob = out.str();
+            session->cachedAtFrames = session->trace.frameCount();
+        }
+        reply.subsetBlob = session->cachedSubsetBlob;
+
+        newResident = session->uploadedBytes +
+                      session->online.residentBytes() +
+                      session->cachedSubsetBlob.size();
+    }
+    registry.updateResident(msg.sessionId, newResident);
+
+    queryNsHistogram().record(runtime_detail::nowNs() - t0);
+    return encode(reply);
+}
+
+std::string
+Server::handleStats(const std::string &payload)
+{
+    const StatsMsg msg = decodeStats(payload);
+    std::shared_ptr<Session> session;
+    const LookupStatus status =
+        registry.acquire(msg.sessionId, runtime_detail::nowNs(),
+                         session);
+    if (status != LookupStatus::Found)
+        return lookupError(status);
+
+    StatsReplyMsg reply;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->evicted.load(std::memory_order_acquire))
+            return lookupError(LookupStatus::Evicted);
+        reply.frames = session->trace.frameCount();
+        reply.draws = traceDrawCount(session->trace);
+        reply.residentBytes = session->uploadedBytes +
+                              session->online.residentBytes() +
+                              session->cachedSubsetBlob.size();
+        reply.onlineClusters =
+            static_cast<std::uint32_t>(session->online.clusters());
+        reply.refinements = session->online.refinements();
+        reply.drift = session->online.lastDrift();
+        reply.efficiency = session->online.efficiency();
+    }
+    return encode(reply);
+}
+
+std::string
+Server::handleClose(const std::string &payload)
+{
+    const CloseSessionMsg msg = decodeCloseSession(payload);
+    const LookupStatus status = registry.close(msg.sessionId);
+    if (status != LookupStatus::Found)
+        return lookupError(status);
+    return encode(ClosedMsg{});
+}
+
+std::string
+Server::handleScrape(const std::string &payload)
+{
+    const MetricsScrapeMsg msg = decodeMetricsScrape(payload);
+    MetricsReplyMsg reply;
+    if (msg.format == MetricsFormat::PrometheusText)
+        reply.text = obs::metricsPrometheusText();
+    else
+        reply.text = obs::metricsRegistry().toJson();
+    return encode(reply);
+}
+
+void
+Server::reapConnections(bool all)
+{
+    std::lock_guard<std::mutex> lock(connectionsMutex);
+    for (auto it = connections.begin(); it != connections.end();) {
+        Connection &conn = **it;
+        if (all || conn.done.load(std::memory_order_acquire)) {
+            if (conn.thread.joinable())
+                conn.thread.join();
+            it = connections.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace serve
+} // namespace gws

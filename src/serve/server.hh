@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The gws_served serving core: a long-lived multi-tenant daemon that
+ * answers "which representative frames should I simulate" over a
+ * stream socket (Unix-domain or loopback TCP).
+ *
+ * Request flow: an accept thread polls the listen socket; each
+ * accepted connection gets a handler thread (bounded — beyond the
+ * connection cap the server replies ServerBusy and closes, the
+ * accept-queue backpressure) that reads framed gws.serve.v1 requests
+ * and dispatches them. Heavy requests (uploads, queries) additionally
+ * take one of a bounded set of work permits — the work-queue
+ * backpressure — and the pipeline work inside them (feature
+ * extraction, clustering, phase detection) fans out on the process
+ * runtime thread pool exactly as the batch binaries do.
+ *
+ * Query contract: the Representatives reply is bit-identical to
+ * running the batch subset pipeline (buildWorkloadSubset, default
+ * config) over the session's full frame sequence, memoized per frame
+ * count so repeat queries are cheap.
+ *
+ * Shutdown: stop() (or SIGINT/SIGTERM in runUntilSignal()) stops
+ * accepting, lets in-flight requests finish, joins every handler,
+ * and flushes the armed observability exports.
+ */
+
+#ifndef GWS_SERVE_SERVER_HH
+#define GWS_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/subset_pipeline.hh"
+#include "serve/protocol.hh"
+#include "serve/session_registry.hh"
+
+namespace gws {
+namespace serve {
+
+/** Daemon configuration. */
+struct ServerConfig
+{
+    /** Unix-domain socket path; non-empty selects AF_UNIX. */
+    std::string unixPath;
+
+    /**
+     * Loopback TCP port; used when unixPath is empty (0 = ephemeral,
+     * see Server::boundPort()).
+     */
+    std::uint16_t tcpPort = 0;
+
+    /** Concurrent connection cap (accept backpressure). */
+    std::size_t maxConnections = 16;
+
+    /** Concurrent heavy-request cap (work backpressure). */
+    std::size_t maxInflightWork = 8;
+
+    /** Session registry bounds (resident bytes, TTL, count). */
+    RegistryConfig registry;
+
+    /** Online clustering knobs applied to new sessions. */
+    OnlineClusterConfig online;
+
+    /** The batch pipeline configuration queries reproduce. */
+    SubsetConfig subset;
+};
+
+/** The serving daemon; one instance per process. */
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** Stops and joins everything still running. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, listen, and start the accept thread. Throws ServeError
+     * when the socket cannot be set up.
+     */
+    void start();
+
+    /**
+     * Graceful drain: stop accepting, finish in-flight requests,
+     * join every handler thread, flush observability exports.
+     * Idempotent.
+     */
+    void stop();
+
+    /**
+     * start(), then block until SIGINT or SIGTERM, then stop().
+     * Returns 0. Call from the main thread of a daemon binary.
+     */
+    int runUntilSignal();
+
+    /** Resolved TCP port (after start(), TCP mode only). */
+    std::uint16_t boundPort() const { return port; }
+
+    /** Printable listen endpoint (after start()). */
+    std::string endpoint() const;
+
+    /** Live sessions (forwarded from the registry). */
+    std::size_t sessionCount() const { return registry.sessionCount(); }
+
+    /** Total resident session bytes (forwarded from the registry). */
+    std::size_t residentBytes() const
+    {
+        return registry.residentBytes();
+    }
+
+  private:
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    /** Accept loop body (accept thread). */
+    void acceptLoop();
+
+    /** Per-connection request loop (handler thread). */
+    void handleConnection(int fd);
+
+    /** Decode + dispatch one request payload; returns the reply. */
+    std::string dispatch(const std::string &payload);
+
+    std::string handleOpen(const std::string &payload);
+    std::string handleUpload(const std::string &payload);
+    std::string handleQuery(const std::string &payload);
+    std::string handleStats(const std::string &payload);
+    std::string handleClose(const std::string &payload);
+    std::string handleScrape(const std::string &payload);
+    std::string handlePing();
+
+    /** Map a lookup failure to its typed error reply. */
+    static std::string lookupError(LookupStatus status);
+
+    /** Join finished connection threads (accept thread only). */
+    void reapConnections(bool all);
+
+    ServerConfig cfg;
+    SessionRegistry registry;
+
+    int listenFd = -1;
+    int wakePipe[2] = {-1, -1};
+    std::uint16_t port = 0;
+    std::uint64_t startedAtNs = 0;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<std::size_t> activeConnections{0};
+    std::atomic<std::size_t> inflightWork{0};
+
+    std::thread acceptThread;
+    std::mutex connectionsMutex;
+    std::list<std::unique_ptr<Connection>> connections;
+};
+
+} // namespace serve
+} // namespace gws
+
+#endif // GWS_SERVE_SERVER_HH

@@ -1,0 +1,164 @@
+#include "serve/session_registry.hh"
+
+#include "obs/metrics.hh"
+
+namespace gws {
+namespace serve {
+
+namespace {
+
+obs::Counter &
+evictionCounter()
+{
+    static obs::Counter &c =
+        obs::metricsRegistry().counter("gws.serve.evictions");
+    return c;
+}
+
+obs::Gauge &
+sessionsGauge()
+{
+    static obs::Gauge &g =
+        obs::metricsRegistry().gauge("gws.serve.sessions");
+    return g;
+}
+
+obs::Gauge &
+residentGauge()
+{
+    static obs::Gauge &g =
+        obs::metricsRegistry().gauge("gws.serve.resident_bytes");
+    return g;
+}
+
+} // namespace
+
+SessionRegistry::SessionRegistry(RegistryConfig config) : cfg(config) {}
+
+std::uint64_t
+SessionRegistry::open(const std::string &name, std::uint64_t nowNs)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (sessions.size() >= cfg.maxSessions)
+        return 0;
+    const std::uint64_t id = nextId++;
+    Entry entry;
+    entry.session = std::make_shared<Session>();
+    entry.session->name = name;
+    entry.session->trace.setName(name);
+    entry.lastUsedNs = nowNs;
+    sessions.emplace(id, std::move(entry));
+    sessionsGauge().set(static_cast<double>(sessions.size()));
+    return id;
+}
+
+LookupStatus
+SessionRegistry::acquire(std::uint64_t id, std::uint64_t nowNs,
+                         std::shared_ptr<Session> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = sessions.find(id);
+    if (it == sessions.end())
+        return evictedIds.count(id) != 0 ? LookupStatus::Evicted
+                                         : LookupStatus::Unknown;
+    it->second.lastUsedNs = nowNs;
+    out = it->second.session;
+    return LookupStatus::Found;
+}
+
+void
+SessionRegistry::evictLocked(std::uint64_t id)
+{
+    auto it = sessions.find(id);
+    if (it == sessions.end())
+        return;
+    it->second.session->evicted.store(true, std::memory_order_release);
+    residentTotal -= it->second.session->residentBytes;
+    sessions.erase(it);
+    evictedIds.insert(id);
+    evictionCounter().increment();
+    sessionsGauge().set(static_cast<double>(sessions.size()));
+    residentGauge().set(static_cast<double>(residentTotal));
+}
+
+void
+SessionRegistry::updateResident(std::uint64_t id, std::size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = sessions.find(id);
+    if (it == sessions.end())
+        return;
+    residentTotal -= it->second.session->residentBytes;
+    it->second.session->residentBytes = bytes;
+    residentTotal += bytes;
+
+    // Evict the least-recently-used other sessions until the total
+    // fits. The session being grown is exempt: evicting the tenant
+    // mid-request would turn its own upload into a SessionEvicted.
+    while (residentTotal > cfg.maxResidentBytes) {
+        std::uint64_t victim = 0;
+        std::uint64_t oldest = ~0ull;
+        for (const auto &[sid, entry] : sessions) {
+            if (sid == id)
+                continue;
+            if (entry.lastUsedNs < oldest) {
+                oldest = entry.lastUsedNs;
+                victim = sid;
+            }
+        }
+        if (victim == 0)
+            break; // only the exempt session remains
+        evictLocked(victim);
+    }
+    residentGauge().set(static_cast<double>(residentTotal));
+}
+
+LookupStatus
+SessionRegistry::close(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = sessions.find(id);
+    if (it == sessions.end())
+        return evictedIds.count(id) != 0 ? LookupStatus::Evicted
+                                         : LookupStatus::Unknown;
+    it->second.session->evicted.store(true, std::memory_order_release);
+    residentTotal -= it->second.session->residentBytes;
+    sessions.erase(it);
+    sessionsGauge().set(static_cast<double>(sessions.size()));
+    residentGauge().set(static_cast<double>(residentTotal));
+    return LookupStatus::Found;
+}
+
+std::size_t
+SessionRegistry::sweepIdle(std::uint64_t nowNs)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t evictions = 0;
+    for (auto it = sessions.begin(); it != sessions.end();) {
+        const std::uint64_t idle = nowNs - it->second.lastUsedNs;
+        const std::uint64_t id = it->first;
+        ++it; // advance before evictLocked erases
+        if (idle > cfg.idleTtlNs) {
+            evictLocked(id);
+            ++evictions;
+        }
+    }
+    return evictions;
+}
+
+std::size_t
+SessionRegistry::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return sessions.size();
+}
+
+std::size_t
+SessionRegistry::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return residentTotal;
+}
+
+} // namespace serve
+} // namespace gws

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The multi-tenant session registry: every client workload the
+ * daemon is tracking, with idle-TTL eviction and an LRU bound on
+ * total resident bytes (accumulated frame features + assembled trace
+ * chunks + the cached representative set).
+ *
+ * Locking: the registry mutex guards the id map, LRU bookkeeping,
+ * and the resident-bytes total; each session carries its own mutex
+ * for its trace/clusterer/cache so two sessions' uploads proceed in
+ * parallel. Lock order is registry -> session, and the registry lock
+ * is never held across session work. Eviction removes the session
+ * from the map while in-flight holders keep their shared_ptr — they
+ * observe the `evicted` flag and fail with the typed SessionEvicted
+ * reply instead of touching freed state.
+ */
+
+#ifndef GWS_SERVE_SESSION_REGISTRY_HH
+#define GWS_SERVE_SESSION_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "serve/online_cluster.hh"
+#include "trace/trace.hh"
+
+namespace gws {
+namespace serve {
+
+/** One client workload the daemon is tracking. */
+struct Session
+{
+    /** Guards everything below. */
+    std::mutex mutex;
+
+    /** Workload name (from OpenSession; names the session trace). */
+    std::string name;
+
+    /** The frame sequence assembled from uploaded chunks. */
+    Trace trace{std::string("unnamed")};
+
+    /** True once the first chunk's resource tables were adopted. */
+    bool hasTables = false;
+
+    /** Incremental frame clustering (see online_cluster.hh). */
+    OnlineClusterer online;
+
+    /** Memoized batch-pipeline output (writeSubset image), valid
+     *  while cachedAtFrames == trace.frameCount(). */
+    std::string cachedSubsetBlob;
+    std::uint64_t cachedAtFrames = ~0ull;
+
+    /** Total bytes of accepted upload blobs (resident accounting). */
+    std::size_t uploadedBytes = 0;
+
+    /** Set under the registry lock when the session is evicted;
+     *  in-flight holders check it after locking the session. */
+    std::atomic<bool> evicted{false};
+
+    /** Bytes this session currently pins. Unlike the fields above,
+     *  this is registry accounting: read and written only under the
+     *  REGISTRY mutex (handlers report new sizes through
+     *  SessionRegistry::updateResident after releasing the session
+     *  mutex, preserving the registry -> session lock order). */
+    std::size_t residentBytes = 0;
+};
+
+/** Why a session lookup failed. */
+enum class LookupStatus : std::uint8_t
+{
+    Found = 0,
+    Unknown = 1,
+    Evicted = 2,
+};
+
+/** Registry configuration. */
+struct RegistryConfig
+{
+    /** LRU bound on total resident bytes across sessions. */
+    std::size_t maxResidentBytes = 256u << 20;
+
+    /** Idle TTL in ns; sessions untouched longer are evicted. */
+    std::uint64_t idleTtlNs = 300ull * 1000 * 1000 * 1000;
+
+    /** Hard cap on live sessions (opens beyond it are rejected). */
+    std::size_t maxSessions = 64;
+};
+
+/** The id -> session table with TTL/LRU eviction. */
+class SessionRegistry
+{
+  public:
+    explicit SessionRegistry(RegistryConfig config = {});
+
+    /**
+     * Create a session. Returns 0 (an id never issued) when the
+     * session cap is reached; else the new session's id.
+     */
+    std::uint64_t open(const std::string &name, std::uint64_t nowNs);
+
+    /**
+     * Look up a session and touch its LRU slot. On Found, `out`
+     * holds the session.
+     */
+    LookupStatus acquire(std::uint64_t id, std::uint64_t nowNs,
+                         std::shared_ptr<Session> &out);
+
+    /**
+     * Record a session's new resident size and evict
+     * least-recently-used *other* sessions until the total fits the
+     * bound again. Call after any mutation that grew the session.
+     */
+    void updateResident(std::uint64_t id, std::size_t bytes);
+
+    /** Close (forget) a session. Returns the lookup outcome. */
+    LookupStatus close(std::uint64_t id);
+
+    /** Evict sessions idle past the TTL. Returns evictions made. */
+    std::size_t sweepIdle(std::uint64_t nowNs);
+
+    /** Live session count. */
+    std::size_t sessionCount() const;
+
+    /** Total resident bytes across live sessions. */
+    std::size_t residentBytes() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<Session> session;
+        std::uint64_t lastUsedNs = 0;
+    };
+
+    /** Evict `id` (map lock held). */
+    void evictLocked(std::uint64_t id);
+
+    RegistryConfig cfg;
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, Entry> sessions;
+    std::set<std::uint64_t> evictedIds;
+    std::uint64_t nextId = 1;
+    std::size_t residentTotal = 0;
+};
+
+} // namespace serve
+} // namespace gws
+
+#endif // GWS_SERVE_SESSION_REGISTRY_HH

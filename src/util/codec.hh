@@ -21,7 +21,9 @@
 #include <ostream>
 #include <string>
 
+#include "util/env.hh"
 #include "util/error.hh"
+#include "util/logging.hh"
 
 namespace gws {
 
@@ -41,12 +43,53 @@ fnv1a32(const std::string &payload)
 constexpr std::size_t framedHeaderBytes = 16;
 
 /**
- * Upper bound on a framed payload. The size field is untrusted input:
- * without a cap, a 4-byte lie makes the reader allocate up to 4 GiB
- * before the checksum can catch it. 1 GiB is orders of magnitude
- * above any real capture while still failing fast on lies.
+ * Default upper bound on a framed payload. The size field is
+ * untrusted input: without a cap, a 4-byte lie makes the reader
+ * allocate up to 4 GiB before the checksum can catch it. 1 GiB is
+ * orders of magnitude above any real capture while still failing
+ * fast on lies.
  */
 constexpr std::uint32_t maxFramedPayloadBytes = 1u << 30;
+
+/**
+ * Sanitize a raw GWS_MAX_PAYLOAD value into a usable cap: zero is
+ * rejected (a zero cap would refuse every payload, which can only be
+ * a misconfiguration) and values beyond the u32 size field are
+ * clamped to it. Pure, for testability; callers use
+ * framedPayloadCap().
+ */
+inline std::uint32_t
+framedPayloadCapFromRaw(std::size_t raw)
+{
+    if (raw == 0) {
+        GWS_WARN("GWS_MAX_PAYLOAD=0 would reject every payload; "
+                 "using the default of ",
+                 maxFramedPayloadBytes, " bytes");
+        return maxFramedPayloadBytes;
+    }
+    constexpr std::size_t u32_max = 0xffffffffu;
+    if (raw > u32_max) {
+        GWS_WARN("GWS_MAX_PAYLOAD ", raw,
+                 " exceeds the 32-bit size field; clamping to ",
+                 u32_max);
+        return static_cast<std::uint32_t>(u32_max);
+    }
+    return static_cast<std::uint32_t>(raw);
+}
+
+/**
+ * The effective framed-payload cap: GWS_MAX_PAYLOAD (bytes, read once
+ * through the checked envSize parser), defaulting to
+ * maxFramedPayloadBytes. Applies to every framed format — files and
+ * serve-protocol messages alike.
+ */
+inline std::uint32_t
+framedPayloadCap()
+{
+    static const std::uint32_t cap = framedPayloadCapFromRaw(
+        envSize("GWS_MAX_PAYLOAD", maxFramedPayloadBytes));
+    return cap;
+}
 
 /** Append-only little-endian encoder into a string buffer. */
 class ByteWriter
@@ -278,7 +321,7 @@ readFramed(std::istream &is, std::uint32_t magic, std::uint32_t version,
                          " (expected " + std::to_string(version) + ")",
                      4);
     const std::uint32_t size = header.u32();
-    if (size > maxFramedPayloadBytes)
+    if (size > framedPayloadCap())
         throw ErrorT(std::string("implausible ") + label +
                          " payload size " + std::to_string(size),
                      8);

@@ -507,5 +507,58 @@ TEST_F(ObsTest, JsonEscapeHandlesControlCharacters)
     EXPECT_EQ(escaped.find('\n'), std::string::npos);
 }
 
+// ----------------------------------------- Prometheus text export --
+
+TEST(MetricsText, PrometheusNameSanitizes)
+{
+    EXPECT_EQ(obs::prometheusName("gws.serve.query.ns"),
+              "gws_serve_query_ns");
+    EXPECT_EQ(obs::prometheusName("already_fine:ok"),
+              "already_fine:ok");
+    EXPECT_EQ(obs::prometheusName("3d.workload"), "_3d_workload");
+}
+
+TEST(MetricsText, CounterAndGaugeRows)
+{
+    std::vector<obs::MetricSnapshot> snapshot(2);
+    snapshot[0].name = "gws.test.hits";
+    snapshot[0].type = obs::MetricType::Counter;
+    snapshot[0].counterValue = 42;
+    snapshot[1].name = "gws.test.load";
+    snapshot[1].type = obs::MetricType::Gauge;
+    snapshot[1].gaugeValue = 1.5;
+
+    const std::string text = obs::metricsPrometheusText(snapshot);
+    EXPECT_NE(text.find("# TYPE gws_test_hits_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("gws_test_hits_total 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("gws_test_load 1.5"), std::string::npos);
+}
+
+TEST(MetricsText, HistogramRowsAreCumulativeWithInf)
+{
+    std::vector<obs::MetricSnapshot> snapshot(1);
+    obs::MetricSnapshot &h = snapshot[0];
+    h.name = "gws.test.lat";
+    h.type = obs::MetricType::Histogram;
+    h.histCount = 3;
+    h.histSum = 700;
+    h.buckets = {{0, 100, 2}, {100, 1000, 1}};
+
+    const std::string text = obs::metricsPrometheusText(snapshot);
+    EXPECT_NE(text.find("# TYPE gws_test_lat histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("gws_test_lat_bucket{le=\"100\"} 2"),
+              std::string::npos);
+    // Cumulative: the second bucket includes the first's count.
+    EXPECT_NE(text.find("gws_test_lat_bucket{le=\"1000\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("gws_test_lat_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("gws_test_lat_sum 700"), std::string::npos);
+    EXPECT_NE(text.find("gws_test_lat_count 3"), std::string::npos);
+}
+
 } // namespace
 } // namespace gws

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests of the serving subsystem: protocol round-trips and strict
+ * decode rejection, malformed-wire-frame handling (driven by the
+ * fuzz-harness mutations), session eviction under the resident-byte
+ * bound, concurrent multi-session clients, and the online-vs-batch
+ * bit-identity contract the Query reply guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/subset_io.hh"
+#include "core/subset_pipeline.hh"
+#include "runtime/runtime.hh"
+#include "serve/client.hh"
+#include "serve/online_cluster.hh"
+#include "serve/server.hh"
+#include "serve/session_registry.hh"
+#include "synth/generator.hh"
+#include "testing/fuzz_harness.hh"
+#include "trace/trace_io.hh"
+#include "util/codec.hh"
+
+namespace gws {
+namespace serve {
+namespace {
+
+Trace
+smallTrace(const std::string &profile = "circuit")
+{
+    GameProfile p = builtinProfile(profile, SuiteScale::Ci);
+    p.segments = 3;
+    p.segmentFramesMin = 5;
+    p.segmentFramesMax = 7;
+    p.drawsPerFrame = 30.0;
+    return GameGenerator(p).generate();
+}
+
+std::string
+localSubsetBlob(const Trace &trace)
+{
+    std::ostringstream out(std::ios::binary);
+    writeSubset(buildWorkloadSubset(trace, SubsetConfig{}), out);
+    return out.str();
+}
+
+/** A server on an ephemeral loopback port, stopped on scope exit. */
+struct ServerFixture
+{
+    explicit ServerFixture(ServerConfig config = {})
+        : server(std::move(config))
+    {
+        server.start();
+    }
+
+    ~ServerFixture() { server.stop(); }
+
+    ServeClient client()
+    {
+        return ServeClient::connectTcp(server.boundPort());
+    }
+
+    Server server;
+};
+
+// ------------------------------------------------- protocol unit ----
+
+TEST(ServeProtocol, PingRoundTrip)
+{
+    const std::string payload = encode(PingMsg{});
+    EXPECT_EQ(peekKind(payload), MsgKind::Ping);
+    decodePing(payload); // must not throw
+}
+
+TEST(ServeProtocol, PongRoundTrip)
+{
+    PongMsg m;
+    m.protocol = "gws.serve.v1";
+    m.uptimeNs = 123456789;
+    m.sessions = 7;
+    const PongMsg back = decodePong(encode(m));
+    EXPECT_EQ(back.protocol, m.protocol);
+    EXPECT_EQ(back.uptimeNs, m.uptimeNs);
+    EXPECT_EQ(back.sessions, m.sessions);
+}
+
+TEST(ServeProtocol, OpenSessionRoundTrip)
+{
+    OpenSessionMsg m;
+    m.name = "workload-a";
+    EXPECT_EQ(decodeOpenSession(encode(m)).name, m.name);
+
+    SessionOpenedMsg r;
+    r.sessionId = 42;
+    EXPECT_EQ(decodeSessionOpened(encode(r)).sessionId, 42u);
+}
+
+TEST(ServeProtocol, UploadFramesRoundTrip)
+{
+    UploadFramesMsg m;
+    m.sessionId = 9;
+    m.traceBlob = std::string("\x01\x02\x03\xff", 4);
+    const UploadFramesMsg back = decodeUploadFrames(encode(m));
+    EXPECT_EQ(back.sessionId, m.sessionId);
+    EXPECT_EQ(back.traceBlob, m.traceBlob);
+
+    FramesAcceptedMsg r;
+    r.totalFrames = 100;
+    r.totalDraws = 4000;
+    r.onlineClusters = 12;
+    r.refinements = 3;
+    const FramesAcceptedMsg rb = decodeFramesAccepted(encode(r));
+    EXPECT_EQ(rb.totalFrames, r.totalFrames);
+    EXPECT_EQ(rb.totalDraws, r.totalDraws);
+    EXPECT_EQ(rb.onlineClusters, r.onlineClusters);
+    EXPECT_EQ(rb.refinements, r.refinements);
+}
+
+TEST(ServeProtocol, QueryAndRepresentativesRoundTrip)
+{
+    QueryMsg m;
+    m.sessionId = 3;
+    EXPECT_EQ(decodeQuery(encode(m)).sessionId, 3u);
+
+    RepresentativesMsg r;
+    r.subsetBlob = std::string(1024, '\x5a');
+    EXPECT_EQ(decodeRepresentatives(encode(r)).subsetBlob,
+              r.subsetBlob);
+}
+
+TEST(ServeProtocol, StatsRoundTrip)
+{
+    StatsMsg m;
+    m.sessionId = 11;
+    EXPECT_EQ(decodeStats(encode(m)).sessionId, 11u);
+
+    StatsReplyMsg r;
+    r.frames = 50;
+    r.draws = 1500;
+    r.residentBytes = 1 << 20;
+    r.onlineClusters = 6;
+    r.refinements = 1;
+    r.drift = 0.125;
+    r.efficiency = 0.88;
+    const StatsReplyMsg rb = decodeStatsReply(encode(r));
+    EXPECT_EQ(rb.frames, r.frames);
+    EXPECT_EQ(rb.draws, r.draws);
+    EXPECT_EQ(rb.residentBytes, r.residentBytes);
+    EXPECT_EQ(rb.onlineClusters, r.onlineClusters);
+    EXPECT_EQ(rb.refinements, r.refinements);
+    EXPECT_DOUBLE_EQ(rb.drift, r.drift);
+    EXPECT_DOUBLE_EQ(rb.efficiency, r.efficiency);
+}
+
+TEST(ServeProtocol, CloseMetricsErrorRoundTrip)
+{
+    CloseSessionMsg m;
+    m.sessionId = 5;
+    EXPECT_EQ(decodeCloseSession(encode(m)).sessionId, 5u);
+    decodeClosed(encode(ClosedMsg{}));
+
+    MetricsScrapeMsg s;
+    s.format = MetricsFormat::PrometheusText;
+    EXPECT_EQ(decodeMetricsScrape(encode(s)).format,
+              MetricsFormat::PrometheusText);
+
+    MetricsReplyMsg r;
+    r.text = "{\"schema\":\"gws.metrics.v1\"}";
+    EXPECT_EQ(decodeMetricsReply(encode(r)).text, r.text);
+
+    ErrorReplyMsg e;
+    e.code = ErrorCode::SessionEvicted;
+    e.message = "gone";
+    const ErrorReplyMsg eb = decodeErrorReply(encode(e));
+    EXPECT_EQ(eb.code, ErrorCode::SessionEvicted);
+    EXPECT_EQ(eb.message, "gone");
+}
+
+TEST(ServeProtocol, StrictDecodeRejects)
+{
+    // Empty payload.
+    EXPECT_THROW(peekKind(std::string()), ServeError);
+
+    // Unknown kind byte.
+    EXPECT_THROW(peekKind(std::string(1, '\x63')), ServeError);
+
+    // Kind mismatch.
+    EXPECT_THROW(decodePong(encode(PingMsg{})), ServeError);
+
+    // Trailing bytes after a well-formed body.
+    std::string padded = encode(PingMsg{});
+    padded.push_back('\x00');
+    EXPECT_THROW(decodePing(padded), ServeError);
+
+    // Out-of-range enum in an ErrorReply.
+    std::string err = encode(ErrorReplyMsg{});
+    err[1] = '\x77'; // the code byte follows the kind byte
+    EXPECT_THROW(decodeErrorReply(err), ServeError);
+
+    // Empty session name / empty upload blob are semantic errors
+    // caught on decode (the server-side trust boundary).
+    EXPECT_THROW(decodeOpenSession(encode(OpenSessionMsg{})),
+                 ServeError);
+    EXPECT_THROW(decodeUploadFrames(encode(UploadFramesMsg{})),
+                 ServeError);
+}
+
+// ------------------------------------------------ live lifecycle ----
+
+TEST(ServeServer, PingReportsProtocol)
+{
+    ServerFixture fx;
+    ServeClient client = fx.client();
+    const PongMsg pong = client.ping();
+    EXPECT_EQ(pong.protocol, "gws.serve.v1");
+    EXPECT_EQ(pong.sessions, 0u);
+}
+
+TEST(ServeServer, LifecycleAndBatchBitIdentity)
+{
+    ServerFixture fx;
+    ServeClient client = fx.client();
+
+    const Trace trace = smallTrace();
+    const std::uint64_t id = client.open(trace.name());
+    ASSERT_NE(id, 0u);
+
+    // Stream in chunks of 4 frames; query after every chunk and
+    // verify the reply is bit-identical to the batch pipeline over
+    // the prefix uploaded so far — the A/B contract.
+    const std::size_t step = 4;
+    for (std::size_t begin = 0; begin < trace.frameCount();
+         begin += step) {
+        const std::size_t end =
+            std::min(begin + step, trace.frameCount());
+        const FramesAcceptedMsg accepted =
+            client.uploadFrames(id, sliceTrace(trace, begin, end));
+        EXPECT_EQ(accepted.totalFrames, end);
+
+        const std::string remote = client.query(id);
+        const std::string local =
+            localSubsetBlob(sliceTrace(trace, 0, end));
+        EXPECT_EQ(remote, local)
+            << "subset diverged from the batch pipeline at frame "
+            << end;
+    }
+
+    const StatsReplyMsg stats = client.stats(id);
+    EXPECT_EQ(stats.frames, trace.frameCount());
+    EXPECT_GT(stats.onlineClusters, 0u);
+    EXPECT_GT(stats.residentBytes, 0u);
+
+    // An explicit close is distinct from eviction: the id is simply
+    // unknown afterwards (Evicted is reserved for TTL/LRU pressure).
+    client.close(id);
+    EXPECT_THROW(
+        {
+            try {
+                client.stats(id);
+            } catch (const ServeRemoteError &e) {
+                EXPECT_EQ(e.code(), ErrorCode::UnknownSession);
+                throw;
+            }
+        },
+        ServeRemoteError);
+}
+
+TEST(ServeServer, UnknownSessionIsTyped)
+{
+    ServerFixture fx;
+    ServeClient client = fx.client();
+    try {
+        client.query(999);
+        FAIL() << "expected ServeRemoteError";
+    } catch (const ServeRemoteError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::UnknownSession);
+    }
+}
+
+TEST(ServeServer, RejectsChunkWithMismatchedTables)
+{
+    ServerFixture fx;
+    ServeClient client = fx.client();
+    const Trace a = smallTrace("circuit");
+    const Trace b = smallTrace("vanguard");
+
+    const std::uint64_t id = client.open(a.name());
+    client.uploadFrames(id, sliceTrace(a, 0, 4));
+    try {
+        client.uploadFrames(id, sliceTrace(b, 0, 4));
+        FAIL() << "expected BadRequest for foreign resource tables";
+    } catch (const ServeRemoteError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::BadRequest);
+    }
+
+    // The session survives the rejected chunk.
+    const StatsReplyMsg stats = client.stats(id);
+    EXPECT_EQ(stats.frames, 4u);
+}
+
+// --------------------------------------------- malformed frames ----
+
+/** Connect a raw loopback socket (no client-side validation). */
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST(ServeServer, SurvivesMutatedWireFrames)
+{
+    ServerFixture fx;
+
+    // The good wire image of a Ping: header exactly as sendFrame
+    // builds it, then the payload.
+    const std::string payload = encode(PingMsg{});
+    ByteWriter header;
+    header.u32(serveMagic);
+    header.u32(serveProtocolVersion);
+    header.u32(static_cast<std::uint32_t>(payload.size()));
+    header.u32(fnv1a32(payload));
+    const std::string good = header.data() + payload;
+
+    for (std::size_t kind = 0; kind < fuzz::numMutationKinds;
+         ++kind) {
+        for (std::uint64_t iter = 0; iter < 16; ++iter) {
+            const std::string bad = fuzz::applyMutation(
+                good, static_cast<fuzz::Mutation>(kind), 0xc0de,
+                iter);
+
+            // Push the mutated bytes through a raw connection (the
+            // typed client would reject them before they hit the
+            // wire). The server must answer (Pong or ErrorReply) or
+            // drop the connection — never crash or hang.
+            const int fd = rawConnect(fx.server.boundPort());
+            ASSERT_GE(fd, 0);
+            ASSERT_EQ(::send(fd, bad.data(), bad.size(),
+                             MSG_NOSIGNAL),
+                      static_cast<ssize_t>(bad.size()));
+            ::shutdown(fd, SHUT_WR);
+            char sink[4096];
+            while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+            }
+            ::close(fd);
+        }
+    }
+
+    // The daemon is still alive and sane after the barrage.
+    ServeClient client = fx.client();
+    EXPECT_EQ(client.ping().protocol, "gws.serve.v1");
+}
+
+// ------------------------------------------------- eviction bound ----
+
+TEST(ServeServer, EvictsLruSessionUnderMemoryBound)
+{
+    const Trace trace = smallTrace();
+    const std::string blob =
+        traceToBlob(sliceTrace(trace, 0, trace.frameCount()));
+
+    ServerConfig cfg;
+    // Two uploads of this trace fit; three do not.
+    cfg.registry.maxResidentBytes = blob.size() * 5 / 2;
+
+    ServerFixture fx(cfg);
+    ServeClient client = fx.client();
+
+    const std::uint64_t a = client.open("tenant-a");
+    const std::uint64_t b = client.open("tenant-b");
+    const std::uint64_t c = client.open("tenant-c");
+    client.uploadFrames(a, blob);
+    client.uploadFrames(b, blob);
+    client.uploadFrames(c, blob); // must evict a, the LRU tenant
+
+    EXPECT_LE(fx.server.residentBytes(),
+              cfg.registry.maxResidentBytes);
+    try {
+        client.stats(a);
+        FAIL() << "expected the LRU session to be evicted";
+    } catch (const ServeRemoteError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::SessionEvicted);
+    }
+
+    // The newer tenants are intact.
+    EXPECT_EQ(client.stats(b).frames, trace.frameCount());
+    EXPECT_EQ(client.stats(c).frames, trace.frameCount());
+}
+
+// --------------------------------------------- concurrent tenants ----
+
+TEST(ServeServer, ConcurrentSessionsStayIsolated)
+{
+    RuntimeConfig saved = runtimeConfig();
+    RuntimeConfig rc = saved;
+    rc.threads = 4;
+    setRuntimeConfig(rc);
+
+    ServerFixture fx;
+    const char *profiles[2] = {"circuit", "vanguard"};
+
+    std::vector<std::thread> tenants;
+    std::vector<std::string> failures(2);
+    for (int t = 0; t < 2; ++t) {
+        tenants.emplace_back([&fx, &profiles, &failures, t] {
+            try {
+                const Trace trace = smallTrace(profiles[t]);
+                ServeClient client = fx.client();
+                const std::uint64_t id = client.open(trace.name());
+                const std::size_t step = 5;
+                for (std::size_t begin = 0;
+                     begin < trace.frameCount(); begin += step)
+                    client.uploadFrames(
+                        id, sliceTrace(trace, begin, begin + step));
+
+                const std::string remote = client.query(id);
+                const std::string local = localSubsetBlob(trace);
+                if (remote != local)
+                    failures[t] = "subset not bit-identical";
+                client.close(id);
+            } catch (const std::exception &e) {
+                failures[t] = e.what();
+            }
+        });
+    }
+    for (std::thread &t : tenants)
+        t.join();
+    setRuntimeConfig(saved);
+
+    EXPECT_EQ(failures[0], "");
+    EXPECT_EQ(failures[1], "");
+}
+
+// ------------------------------------------------ online cluster ----
+
+TEST(OnlineCluster, LeaderAssignmentAndRefinement)
+{
+    OnlineClusterConfig cfg;
+    cfg.refineEveryFrames = 8;
+    OnlineClusterer online(cfg);
+
+    // Two well-separated bands of frame features.
+    for (int i = 0; i < 24; ++i) {
+        FeatureVector v;
+        v.at(0) = (i % 2 == 0) ? 0.0 : 20.0;
+        v.at(1) = 0.01 * static_cast<double>(i);
+        online.addFrame(v);
+    }
+
+    EXPECT_EQ(online.frames(), 24u);
+    EXPECT_EQ(online.clusters(), 2u);
+    EXPECT_GE(online.refinements(), 1u);
+    EXPECT_GT(online.efficiency(), 0.9);
+    EXPECT_LE(online.lastDrift(), 1.0);
+
+    // Assignments separate the two bands.
+    const std::vector<std::uint32_t> &assign = online.assignment();
+    ASSERT_EQ(assign.size(), 24u);
+    for (std::size_t i = 2; i < assign.size(); ++i)
+        EXPECT_EQ(assign[i], assign[i % 2]);
+}
+
+} // namespace
+} // namespace serve
+} // namespace gws

@@ -13,6 +13,7 @@
 
 #include "obs/obs.hh"
 #include "util/args.hh"
+#include "util/codec.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -686,6 +687,30 @@ TEST(Logging, WarnFeedsObservability)
             e.detail.find("observable warning 7") != std::string::npos)
             found = true;
     EXPECT_TRUE(found);
+}
+
+TEST(Codec, PayloadCapFromRawPassesPlausibleValues)
+{
+    EXPECT_EQ(framedPayloadCapFromRaw(1), 1u);
+    EXPECT_EQ(framedPayloadCapFromRaw(4096), 4096u);
+    EXPECT_EQ(framedPayloadCapFromRaw(maxFramedPayloadBytes),
+              maxFramedPayloadBytes);
+}
+
+TEST(Codec, PayloadCapFromRawZeroFallsBackToDefault)
+{
+    // GWS_MAX_PAYLOAD=0 would reject every payload; it warns and
+    // keeps the default instead.
+    const int before = warnCount();
+    EXPECT_EQ(framedPayloadCapFromRaw(0), maxFramedPayloadBytes);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+TEST(Codec, PayloadCapFromRawClampsToU32)
+{
+    const int before = warnCount();
+    EXPECT_EQ(framedPayloadCapFromRaw(1ull << 40), 0xffffffffu);
+    EXPECT_EQ(warnCount(), before + 1);
 }
 
 TEST(Logging, AssertDeathOnViolation)
