@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/streaming_work_trace.hh"
 #include "obs/obs.hh"
 #include "runtime/runtime.hh"
 #include "synth/suite.hh"
@@ -96,6 +97,9 @@ addThreadsOption(ArgParser &args)
     args.addString("metrics-text-out", "",
                    "export the metrics registry as Prometheus text "
                    "exposition to this file");
+    args.addInt("mem-budget", 0,
+                "out-of-core memory budget in MiB for streamed sweeps "
+                "(0 = GWS_MEM_BUDGET or the 256 MiB default)");
 }
 
 /**
@@ -127,6 +131,10 @@ applyThreadsOption(const ArgParser &args)
         args.getString("metrics-text-out");
     if (!metrics_text_out.empty())
         obs::setMetricsTextOutputPath(metrics_text_out);
+
+    const std::int64_t budget_mib = args.getInt("mem-budget");
+    if (budget_mib > 0)
+        setMemBudgetBytes(static_cast<std::size_t>(budget_mib) << 20);
 }
 
 /**
@@ -233,7 +241,8 @@ banner(const std::string &id, const std::string &what, SuiteScale scale)
  * the same envelope —
  *
  *   { "schema": "gws.bench.v1", "bench": ..., "git": ...,
- *     "threads": N, "wall_ms": X, "results": { <bench fields> } }
+ *     "threads": N, "wall_ms": X, "peak_rss_bytes": R,
+ *     "results": { <bench fields> } }
  *
  * — and trajectories are comparable across benches and revisions.
  * Fields keep insertion order. write() defaults to
@@ -318,10 +327,12 @@ class BenchJsonWriter
                      "{\n  \"schema\": \"gws.bench.v1\",\n"
                      "  \"bench\": \"%s\",\n  \"git\": \"%s\",\n"
                      "  \"threads\": %zu,\n  \"wall_ms\": %.3f,\n"
+                     "  \"peak_rss_bytes\": %zu,\n"
                      "  \"results\": {",
                      obs::jsonEscape(benchName).c_str(),
                      obs::jsonEscape(GWS_GIT_DESCRIBE).c_str(),
-                     resolvedThreadCount(), wall_ms);
+                     resolvedThreadCount(), wall_ms,
+                     obs::peakRssBytes());
         bool first = true;
         for (const auto &[key, value] : fields) {
             std::fprintf(fp, "%s\n    \"%s\": %s", first ? "" : ",",

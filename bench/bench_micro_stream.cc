@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Out-of-core streamed-sweep microbenchmark: a multi-million-draw
+ * synthetic sweep under a bounded memory budget.
+ *
+ * Generates a playthrough far larger than the configured budget,
+ * streams it through a StreamingWorkTrace (build→spill on the first
+ * pass, re-load thereafter), and retimes a 16-point core clock sweep
+ * through both per-chunk kernels: the naive per-draw loop (one
+ * GpuSimulator + timeDrawWork walk per config per chunk — the
+ * pre-engine shape, out of core) versus the blocked engine kernel.
+ * Checks the two streamed results are bit-identical, reports the
+ * steady-state (load-pass) speedup — the acceptance number for the
+ * out-of-core work — plus build-pass cost, chunk-window stats and the
+ * peak RSS the whole run needed (the flat-memory claim; also stamped
+ * into the shared envelope as peak_rss_bytes). Results land in
+ * results/BENCH_micro_stream.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/sweep.hh"
+#include "gpusim/streaming_work_trace.hh"
+#include "gpusim/work_trace.hh"
+#include "obs/mem.hh"
+#include "synth/generator.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace gws;
+
+/** A playthrough hitting the target draw count (~384 frames). */
+Trace
+streamTrace(std::size_t target_draws)
+{
+    GameProfile p = builtinProfile("shock1", SuiteScale::Ci);
+    p.name = "micro_stream";
+    p.segments = 12;
+    p.segmentFramesMin = 28;
+    p.segmentFramesMax = 36;
+    const double frames = 12.0 * 32.0;
+    p.drawsPerFrame = std::max(
+        40.0, static_cast<double>(target_draws) / frames);
+    return GameGenerator(p).generate();
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t1 - t0)
+                   .count()) *
+           1e-6;
+}
+
+/** Exact equality of two sweep results (the A/B contract). */
+bool
+identical(const SweepResult &a, const SweepResult &b)
+{
+    return a.configCount == b.configCount &&
+           a.groupCount == b.groupCount && a.drawCount == b.drawCount &&
+           a.totalNs == b.totalNs && a.groupNs == b.groupNs &&
+           a.bottleneckNs == b.bottleneckNs &&
+           a.bottleneckCount == b.bottleneckCount && a.drawNs == b.drawNs;
+}
+
+} // namespace
+
+namespace {
+
+int
+run(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_micro_stream",
+                   "out-of-core streamed sweep microbenchmark "
+                   "(naive vs engine per-chunk kernels)");
+    addThreadsOption(args);
+    args.addInt("draws", 1000000, "target draw-call count of the trace");
+    args.addInt("configs", 16, "clock points in the sweep");
+    args.addInt("repeats", 2, "timed load-pass repetitions per variant");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_stream.json, empty = skip)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    applyThreadsOption(args);
+    const std::size_t target_draws =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            10000, args.getInt("draws")));
+    const std::size_t n_cfg = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, args.getInt("configs")));
+    const std::size_t repeats =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            1, args.getInt("repeats")));
+
+    std::printf("=== MSt — out-of-core streamed sweep (target "
+                "draws=%zu, configs=%zu, budget=%zu MiB) ===\n",
+                target_draws, n_cfg, memBudgetBytes() >> 20);
+
+    const Trace trace = streamTrace(target_draws);
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    StreamingWorkTrace stream(trace, sim);
+    const std::size_t full_bytes =
+        WorkTrace::residentBytes(stream.drawCount());
+    const std::size_t window_bytes =
+        WorkTrace::residentBytes(stream.maxChunkRows());
+    std::printf("trace: %zu draws in %zu frames; flattened image "
+                "%zu MiB vs %zu-chunk window of %zu MiB\n",
+                stream.drawCount(), stream.groupCount(),
+                full_bytes >> 20, stream.chunkCount(),
+                window_bytes >> 20);
+
+    std::vector<double> scales(n_cfg);
+    for (std::size_t i = 0; i < n_cfg; ++i)
+        scales[i] = 0.5 +
+                    1.5 * static_cast<double>(i) /
+                        static_cast<double>(n_cfg - 1);
+    const std::vector<GpuConfig> points =
+        clockSweepConfigs(makeGpuPreset("baseline"), scales);
+
+    // The inner-kernel A/B: retimeAllStreamed picks the per-chunk
+    // kernel from SweepConfig::path, so both variants run out of
+    // core over the same spill file.
+    SweepConfig naive_cfg;
+    naive_cfg.path = SweepPath::Naive;
+    SweepConfig engine_cfg;
+    engine_cfg.path = SweepPath::Engine;
+
+    // First pass fuses build→spill→retime; time it separately — it
+    // pays the draw-work computation the load passes reuse.
+    SweepResult engine_out;
+    const double build_ms = wallMs([&] {
+        engine_out = retimeAllStreamed(stream, points, engine_cfg);
+    });
+    std::printf("build pass (fused build+spill+retime): %.1f ms\n",
+                build_ms);
+
+    // Steady state: every later pass re-loads chunks from the spill.
+    // End-to-end pass timing first (load + kernel, the production
+    // shape), then the kernel-only A/B: during one load pass, time
+    // both kernels back to back on each *resident* chunk, so no IO
+    // lands inside the timed region — the headline is the *retime*
+    // speedup, the same quantity bench_micro_sweep reports in memory,
+    // and the working set never exceeds one chunk window.
+    double load_ms = 0.0;
+    double naive_ms = 0.0;
+    double engine_ms = 0.0;
+    double naive_retime_ms = 0.0;
+    double engine_retime_ms = 0.0;
+    SweepResult naive_out;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double lm = wallMs([&] {
+            stream.forEachChunk(
+                [](std::size_t, std::size_t, const WorkTrace &) {});
+        });
+        load_ms = r == 0 ? lm : std::min(load_ms, lm);
+        const double nm = wallMs(
+            [&] { naive_out = retimeAllStreamed(stream, points,
+                                                naive_cfg); });
+        naive_ms = r == 0 ? nm : std::min(naive_ms, nm);
+        const double em = wallMs(
+            [&] { engine_out = retimeAllStreamed(stream, points,
+                                                 engine_cfg); });
+        engine_ms = r == 0 ? em : std::min(engine_ms, em);
+
+        double nk = 0.0;
+        double ek = 0.0;
+        stream.forEachChunk([&](std::size_t, std::size_t,
+                                const WorkTrace &chunk) {
+            nk += wallMs([&] { retimeAll(chunk, points, naive_cfg); });
+            ek += wallMs([&] { retimeAll(chunk, points, engine_cfg); });
+        });
+        naive_retime_ms = r == 0 ? nk : std::min(naive_retime_ms, nk);
+        engine_retime_ms = r == 0 ? ek : std::min(engine_retime_ms, ek);
+    }
+    const double speedup = naive_retime_ms / engine_retime_ms;
+    const double pass_speedup = naive_ms / engine_ms;
+    const bool bit_identical = identical(naive_out, engine_out);
+    if (!bit_identical)
+        GWS_WARN("streamed naive and engine sweep outputs differ");
+
+    const double retime_rate =
+        static_cast<double>(stream.drawCount() * n_cfg) /
+        (engine_retime_ms * 1e-3) * 1e-6;
+    const std::size_t peak_rss = obs::peakRssBytes();
+
+    std::printf("\n%-28s %10s %10s %9s\n", "variant", "pass ms",
+                "retime ms", "speedup");
+    std::printf("%-28s %10.1f %10s %9s\n", "chunk load (no kernel)",
+                load_ms, "-", "-");
+    std::printf("%-28s %10.1f %10.1f %9.2f\n", "naive loop (streamed)",
+                naive_ms, naive_retime_ms, 1.0);
+    std::printf("%-28s %10.1f %10.1f %9.2f\n", "engine (streamed)",
+                engine_ms, engine_retime_ms, speedup);
+    std::printf("\nbit-identical naive vs engine: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+    std::printf("engine retime rate: %.1f M draw-configs/s\n",
+                retime_rate);
+    std::printf("peak RSS: %zu MiB (budget %zu MiB, resident window "
+                "%zu MiB)\n",
+                peak_rss >> 20, stream.budgetBytes() >> 20,
+                window_bytes >> 20);
+
+    const std::string out = args.getString("out");
+    if (!out.empty()) {
+        BenchJsonWriter json("micro_stream");
+        json.setUint("draws", stream.drawCount());
+        json.setUint("frames", stream.groupCount());
+        json.setUint("configs", n_cfg);
+        json.setUint("mem_budget_bytes", stream.budgetBytes());
+        json.setUint("chunks", stream.chunkCount());
+        json.setUint("max_chunk_rows", stream.maxChunkRows());
+        json.setUint("flattened_bytes", full_bytes);
+        json.setUint("window_bytes", window_bytes);
+        json.setDouble("build_pass_ms", build_ms);
+        json.setDouble("load_pass_ms", load_ms);
+        json.setDouble("naive_ms", naive_ms);
+        json.setDouble("engine_ms", engine_ms);
+        json.setDouble("naive_retime_ms", naive_retime_ms);
+        json.setDouble("engine_retime_ms", engine_retime_ms);
+        json.setDouble("retime_speedup", speedup);
+        json.setDouble("pass_speedup", pass_speedup);
+        json.setDouble("retime_mdraw_configs_per_s", retime_rate);
+        json.setBool("bit_identical", bit_identical);
+        json.write(out == "default" ? "" : out);
+    }
+
+    reportRuntime(args);
+    return bit_identical ? 0 : 1;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
+}

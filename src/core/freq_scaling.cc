@@ -20,21 +20,30 @@ runFreqScaling(const Trace &trace, const WorkloadSubset &subset,
     FreqScalingResult result;
     result.scales = config.scales;
 
-    // --- compute once: flatten parent and subset work ---------------------
+    // --- compute once, retime many -----------------------------------------
+    // The parent trace goes out of core when flattening it would
+    // exceed the memory budget; the subset is small by construction
+    // and always stays in memory (prediction needs its per-draw
+    // costs). Both paths are bit-identical.
     const GpuSimulator base_sim(base);
-    const WorkTrace parent_work = buildWorkTrace(trace, base_sim);
-    const WorkTrace subset_work =
-        buildSubsetWorkTrace(trace, subset, base_sim);
-
-    // --- retime many: every clock point in one engine pass each -----------
     const std::vector<GpuConfig> points =
         clockSweepConfigs(base, config.scales);
     SweepConfig parent_pass;
     parent_pass.path = config.path;
     SweepConfig subset_pass = parent_pass;
     subset_pass.perDraw = true; // representative costs feed prediction
-    const SweepResult parent_sweep =
-        retimeAll(parent_work, points, parent_pass);
+
+    SweepResult parent_sweep;
+    if (sweepUsesStreamedPath(config.path, traceDrawCount(trace))) {
+        StreamingWorkTrace stream(trace, base_sim);
+        parent_sweep = retimeAllStreamed(stream, points, parent_pass);
+    } else {
+        const WorkTrace parent_work = buildWorkTrace(trace, base_sim);
+        parent_sweep = retimeAll(parent_work, points, parent_pass);
+    }
+
+    const WorkTrace subset_work =
+        buildSubsetWorkTrace(trace, subset, base_sim);
     const SweepResult subset_sweep =
         retimeAll(subset_work, points, subset_pass);
 

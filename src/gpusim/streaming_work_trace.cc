@@ -1,0 +1,311 @@
+#include "gpusim/streaming_work_trace.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "gpusim/draw_work_cache.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "runtime/counters.hh"
+#include "runtime/parallel_for.hh"
+#include "trace/wtrc_io.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+std::atomic<std::size_t> g_budget_override{0};
+
+/** Stream metrics, registered once on first use. */
+struct StreamMetrics
+{
+    obs::Counter &chunksBuilt;
+    obs::Counter &chunksLoaded;
+    obs::Counter &spilledBytes;
+    obs::Counter &loadedBytes;
+    obs::Counter &passes;
+    obs::Histogram &chunkRows;
+    obs::Gauge &budgetGauge;
+};
+
+StreamMetrics &
+streamMetrics()
+{
+    static StreamMetrics m{
+        obs::metricsRegistry().counter("gws.stream.chunks_built"),
+        obs::metricsRegistry().counter("gws.stream.chunks_loaded"),
+        obs::metricsRegistry().counter("gws.stream.spilled_bytes"),
+        obs::metricsRegistry().counter("gws.stream.loaded_bytes"),
+        obs::metricsRegistry().counter("gws.stream.passes"),
+        obs::metricsRegistry().histogram("gws.stream.chunk_rows"),
+        obs::metricsRegistry().gauge("gws.stream.mem_budget_bytes"),
+    };
+    return m;
+}
+
+/** A fresh spill path under $TMPDIR (or /tmp), unique per instance. */
+std::string
+defaultSpillPath()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    const char *dir = std::getenv("TMPDIR");
+    std::string path = (dir && *dir) ? dir : "/tmp";
+    path += "/gws-wtrc-" + std::to_string(::getpid()) + "-" +
+            std::to_string(seq.fetch_add(1)) + ".wtrc";
+    return path;
+}
+
+/** Raw-column pointers of a chunk, in wtrc column order. */
+void
+rawColumns(const WorkTrace &wt, const double *cols[wtrcColumnCount])
+{
+    cols[0] = wt.vertices();
+    cols[1] = wt.primitives();
+    cols[2] = wt.pixels();
+    cols[3] = wt.vertexFetchBytes();
+    cols[4] = wt.vsWeightedOps();
+    cols[5] = wt.psWeightedOps();
+    cols[6] = wt.ropPixels();
+    cols[7] = wt.texSamples();
+    cols[8] = wt.texL2FillBytes();
+    cols[9] = wt.texDramBytes();
+    cols[10] = wt.vertexDramBytes();
+    cols[11] = wt.rtDramBytes();
+}
+
+/** Rebuild row `i` of `wt` from a decoded chunk's raw columns. */
+DrawWork
+workFromChunk(const WtrcChunk &chunk, std::size_t i)
+{
+    DrawWork w;
+    w.vertices = chunk.column(0)[i];
+    w.primitives = chunk.column(1)[i];
+    w.pixels = chunk.column(2)[i];
+    w.vertexFetchBytes = chunk.column(3)[i];
+    w.vsWeightedOps = chunk.column(4)[i];
+    w.psWeightedOps = chunk.column(5)[i];
+    w.ropPixels = chunk.column(6)[i];
+    w.traffic.texSamples = static_cast<std::uint64_t>(chunk.column(7)[i]);
+    w.traffic.texL2FillBytes = chunk.column(8)[i];
+    w.traffic.texDramBytes = chunk.column(9)[i];
+    w.traffic.vertexDramBytes = chunk.column(10)[i];
+    w.traffic.rtDramBytes = chunk.column(11)[i];
+    return w;
+}
+
+} // namespace
+
+std::size_t
+memBudgetBytes()
+{
+    const std::size_t over = g_budget_override.load(std::memory_order_relaxed);
+    if (over != 0)
+        return over;
+    static const std::size_t env =
+        envSize("GWS_MEM_BUDGET", defaultMemBudgetBytes);
+    return env != 0 ? env : defaultMemBudgetBytes;
+}
+
+void
+setMemBudgetBytes(std::size_t bytes)
+{
+    g_budget_override.store(bytes, std::memory_order_relaxed);
+}
+
+bool
+shouldStreamWorkTrace(std::size_t draws)
+{
+    return WorkTrace::residentBytes(draws) > memBudgetBytes();
+}
+
+std::size_t
+traceDrawCount(const Trace &trace)
+{
+    std::size_t draws = 0;
+    for (std::size_t f = 0; f < trace.frameCount(); ++f)
+        draws += trace.frame(f).drawCount();
+    return draws;
+}
+
+StreamingWorkTrace::StreamingWorkTrace(const Trace &trace,
+                                       const GpuSimulator &simulator,
+                                       StreamOptions options)
+    : src(trace), sim(simulator), opt(std::move(options))
+{
+    capKey = capacityConfigHash(sim.config());
+    budget = opt.memBudgetBytes != 0 ? opt.memBudgetBytes : memBudgetBytes();
+    streamMetrics().budgetGauge.set(static_cast<double>(budget));
+    spillFile = opt.spillPath.empty() ? defaultSpillPath() : opt.spillPath;
+
+    // Half the budget bounds the resident chunk columns; the other
+    // half is headroom for the consumer's per-chunk slabs and the IO
+    // buffer. Frames are packed greedily: a chunk closes when the
+    // next frame would push it past the row budget, and a frame
+    // larger than the budget gets a chunk of its own (boundaries are
+    // never allowed to split a group).
+    std::size_t row_budget = 1;
+    while (WorkTrace::residentBytes(row_budget + 1) <= budget / 2)
+        ++row_budget;
+
+    ChunkLayout current;
+    for (std::size_t f = 0; f < src.frameCount(); ++f) {
+        const std::size_t draws = src.frame(f).drawCount();
+        if (current.groups > 0 && current.rows + draws > row_budget) {
+            layout.push_back(current);
+            current = ChunkLayout{current.firstGroup + current.groups, 0, 0};
+        }
+        ++current.groups;
+        current.rows += draws;
+        ++totalGroups;
+        totalRows += draws;
+    }
+    if (current.groups > 0)
+        layout.push_back(current);
+    for (const ChunkLayout &c : layout)
+        maxRows = std::max(maxRows, c.rows);
+}
+
+StreamingWorkTrace::~StreamingWorkTrace()
+{
+    if (built && !opt.keepSpill)
+        std::remove(spillFile.c_str());
+}
+
+std::vector<std::size_t>
+StreamingWorkTrace::chunkGroupSizes(std::size_t ci) const
+{
+    const ChunkLayout &c = layout[ci];
+    std::vector<std::size_t> sizes;
+    sizes.reserve(c.groups);
+    for (std::size_t g = 0; g < c.groups; ++g)
+        sizes.push_back(src.frame(c.firstGroup + g).drawCount());
+    return sizes;
+}
+
+void
+StreamingWorkTrace::forEachChunk(const ChunkFn &fn)
+{
+    if (!built)
+        buildPass(fn);
+    else
+        loadPass(fn);
+    ++passes;
+    streamMetrics().passes.increment();
+}
+
+void
+StreamingWorkTrace::buildPass(const ChunkFn &fn)
+{
+    ScopedRegion region("stream.buildPass");
+    const std::uint64_t t0 = runtime_detail::nowNs();
+
+    std::ofstream out(spillFile,
+                      std::ios::binary | std::ios::trunc | std::ios::out);
+    if (!out)
+        throw WtrcError("cannot open wtrc spill file '" + spillFile + "'");
+    WtrcWriter writer(out, capKey);
+
+    StreamMetrics &m = streamMetrics();
+    for (std::size_t ci = 0; ci < layout.size(); ++ci) {
+        obs::SpanScope chunk_span("stream.chunk");
+        const ChunkLayout &c = layout[ci];
+        WorkTrace wt(capKey, chunkGroupSizes(ci));
+        parallelFor(0, c.groups, 1, [&](std::size_t g) {
+            const Frame &frame = src.frame(c.firstGroup + g);
+            std::size_t row = wt.groupBegin(g);
+            for (const DrawCall &draw : frame.draws())
+                wt.setRow(row++, sim.computeDrawWork(src, draw));
+        });
+
+        // The DRAM accumulator is carried across chunk boundaries in
+        // row order — the same left-to-right addition chain as the
+        // flattened trace's totalDramBytes(), hence bit-identical.
+        const double *dram = wt.dramBytes();
+        for (std::size_t i = 0; i < c.rows; ++i)
+            dramTotal += dram[i];
+
+        {
+            obs::SpanScope spill_span("stream.spill");
+            std::vector<std::uint32_t> sizes;
+            sizes.reserve(c.groups);
+            for (std::size_t g = 0; g < c.groups; ++g)
+                sizes.push_back(static_cast<std::uint32_t>(
+                    wt.groupEnd(g) - wt.groupBegin(g)));
+            const double *cols[wtrcColumnCount];
+            rawColumns(wt, cols);
+            const std::uint64_t before = writer.chunkBytesWritten();
+            writer.appendChunk(sizes, cols, c.rows);
+            m.spilledBytes.add(writer.chunkBytesWritten() - before);
+        }
+        m.chunksBuilt.increment();
+        m.chunkRows.record(c.rows);
+
+        fn(ci, c.firstGroup, wt);
+    }
+    writer.finish();
+    built = true;
+
+    runtime_detail::noteWorkTraceBuild(totalRows,
+                                       runtime_detail::nowNs() - t0);
+}
+
+void
+StreamingWorkTrace::loadPass(const ChunkFn &fn)
+{
+    ScopedRegion region("stream.loadPass");
+
+    std::ifstream in(spillFile, std::ios::binary | std::ios::in);
+    if (!in)
+        throw WtrcError("cannot reopen wtrc spill file '" + spillFile + "'");
+    WtrcReader reader(in);
+    if (reader.capacityKey() != capKey ||
+        reader.totalRows() != totalRows ||
+        reader.totalGroups() != totalGroups ||
+        reader.chunkCount() != layout.size())
+        throw WtrcError("wtrc spill file '" + spillFile +
+                        "' does not match the stream that wrote it");
+
+    StreamMetrics &m = streamMetrics();
+    for (std::size_t ci = 0; ci < layout.size(); ++ci) {
+        obs::SpanScope chunk_span("stream.chunk");
+        const ChunkLayout &c = layout[ci];
+        WtrcChunk chunk;
+        {
+            obs::SpanScope load_span("stream.load");
+            chunk = reader.readChunk();
+        }
+        if (chunk.rows != c.rows || chunk.groupSizes.size() != c.groups)
+            throw WtrcError("wtrc spill chunk " + std::to_string(ci) +
+                            " does not match the planned layout");
+
+        std::vector<std::size_t> sizes(chunk.groupSizes.begin(),
+                                       chunk.groupSizes.end());
+        WorkTrace wt(capKey, sizes);
+        // setRow re-derives the four computed columns with the exact
+        // build-time expressions on bit-identical raw inputs.
+        parallelFor(0, c.rows, 8192, [&](std::size_t i) {
+            wt.setRow(i, workFromChunk(chunk, i));
+        });
+        m.chunksLoaded.increment();
+        m.loadedBytes.add(chunk.rows * wtrcColumnCount * sizeof(double));
+
+        fn(ci, c.firstGroup, wt);
+    }
+    reader.finish();
+}
+
+double
+StreamingWorkTrace::totalDramBytes()
+{
+    if (!built)
+        forEachChunk([](std::size_t, std::size_t, const WorkTrace &) {});
+    return dramTotal;
+}
+
+} // namespace gws

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Out-of-core streaming counterpart of buildWorkTrace(): the bounded
+ * resident window behind the fused build→retime→reduce sweep path.
+ *
+ * A multi-million-draw corpus flattened by buildWorkTrace() wants
+ * ~128 bytes of resident column data per draw — past the memory
+ * budget, the sweep engine must stop materialising the whole SoA
+ * image. StreamingWorkTrace cuts the trace into *frame-aligned
+ * chunks* sized to roughly half the budget (the other half is
+ * headroom for per-chunk sweep slabs and IO buffers) and hands each
+ * chunk to the caller as an ordinary in-memory WorkTrace:
+ *
+ *  - the first pass *builds* each chunk through the draw-work memo
+ *    cache (same parallel per-frame fan-out as buildWorkTrace),
+ *    accumulates the global DRAM total serially in row order, and
+ *    spills the twelve raw columns to a `gws.wtrc.v1` container
+ *    (trace/wtrc_io.hh);
+ *  - every later pass re-loads the chunks from the spill file,
+ *    recomputing the four derived columns through WorkTrace::setRow —
+ *    the exact build-time expressions on bit-identical inputs, so a
+ *    reloaded chunk is indistinguishable from the chunk that was
+ *    spilled.
+ *
+ * Chunk boundaries never split a group, and chunks arrive in
+ * ascending group order, so a consumer that reduces groups in index
+ * order (core/sweep.cc retimeAllStreamed) reproduces the in-memory
+ * engine's accumulation order — and therefore its results — bit for
+ * bit, at any chunk size and any thread count.
+ *
+ * The budget comes from `GWS_MEM_BUDGET` (bytes, checked envSize
+ * parser; default 256 MiB) or the programmatic override behind the
+ * benches' `--mem-budget` flag. shouldStreamWorkTrace() is the
+ * auto-selection predicate the studies use: stream exactly when the
+ * flattened trace would not fit the budget.
+ */
+
+#ifndef GWS_GPUSIM_STREAMING_WORK_TRACE_HH
+#define GWS_GPUSIM_STREAMING_WORK_TRACE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/work_trace.hh"
+
+namespace gws {
+
+/** Default out-of-core memory budget when GWS_MEM_BUDGET is unset. */
+constexpr std::size_t defaultMemBudgetBytes = 256u << 20;
+
+/**
+ * The effective memory budget in bytes: the programmatic override
+ * (setMemBudgetBytes) when set, else GWS_MEM_BUDGET (read once
+ * through the checked envSize parser), else the 256 MiB default.
+ * A zero budget is meaningless and resolves to the default.
+ */
+std::size_t memBudgetBytes();
+
+/**
+ * Install a process-wide budget override (the `--mem-budget` flag);
+ * 0 clears it and returns control to the environment knob.
+ */
+void setMemBudgetBytes(std::size_t bytes);
+
+/**
+ * Auto-selection predicate: true when a flattened work trace of
+ * `draws` rows (WorkTrace::residentBytes) would exceed the budget,
+ * i.e. when a sweep should take the streamed path.
+ */
+bool shouldStreamWorkTrace(std::size_t draws);
+
+/** Total draws across all frames (the auto-selection input). */
+std::size_t traceDrawCount(const Trace &trace);
+
+/** Knobs for one StreamingWorkTrace (tests and benches). */
+struct StreamOptions
+{
+    /** Per-instance budget override in bytes; 0 = memBudgetBytes(). */
+    std::size_t memBudgetBytes = 0;
+
+    /** Spill file path; empty = a fresh file under $TMPDIR (or /tmp). */
+    std::string spillPath;
+
+    /** Keep the spill file on destruction (default: delete it). */
+    bool keepSpill = false;
+};
+
+/**
+ * Bounded-window streaming view of a trace's work. The chunk layout
+ * (which frames land in which chunk) is fixed at construction; the
+ * expensive work — building, spilling, re-loading — happens lazily
+ * inside forEachChunk(). The referenced Trace and GpuSimulator must
+ * outlive the stream.
+ */
+class StreamingWorkTrace
+{
+  public:
+    /** Callback: (chunk index, global index of first group, chunk). */
+    using ChunkFn =
+        std::function<void(std::size_t, std::size_t, const WorkTrace &)>;
+
+    /** Plan the chunk layout for `trace` under `simulator`'s config. */
+    StreamingWorkTrace(const Trace &trace, const GpuSimulator &simulator,
+                       StreamOptions options = {});
+
+    /** Deletes the spill file unless StreamOptions::keepSpill. */
+    ~StreamingWorkTrace();
+
+    StreamingWorkTrace(const StreamingWorkTrace &) = delete;
+    StreamingWorkTrace &operator=(const StreamingWorkTrace &) = delete;
+
+    /**
+     * Run `fn` over every chunk in order. The first call builds and
+     * spills (fused with the callback — the chunk is visited while
+     * resident, before the window moves on); later calls re-load from
+     * the spill file. At most one chunk's WorkTrace is alive at a
+     * time.
+     */
+    void forEachChunk(const ChunkFn &fn);
+
+    /**
+     * Serial row-order sum of the DRAM column across the whole trace,
+     * bit-identical to WorkTrace::totalDramBytes() of the flattened
+     * image (the accumulator is carried across chunk boundaries, not
+     * re-associated per chunk). Triggers the build pass if it has not
+     * run yet.
+     */
+    double totalDramBytes();
+
+    /** Capacity hash the work is computed under. */
+    std::uint64_t capacityKey() const { return capKey; }
+
+    /** Total draws across all chunks. */
+    std::size_t drawCount() const { return totalRows; }
+
+    /** Total groups (frames) across all chunks. */
+    std::size_t groupCount() const { return totalGroups; }
+
+    /** Number of planned chunks. */
+    std::size_t chunkCount() const { return layout.size(); }
+
+    /** Rows of the largest planned chunk (the resident high-water). */
+    std::size_t maxChunkRows() const { return maxRows; }
+
+    /** Global index of chunk `ci`'s first group. */
+    std::size_t chunkFirstGroup(std::size_t ci) const
+    {
+        return layout[ci].firstGroup;
+    }
+
+    /** Groups in chunk `ci`. */
+    std::size_t chunkGroupCount(std::size_t ci) const
+    {
+        return layout[ci].groups;
+    }
+
+    /** Rows in chunk `ci`. */
+    std::size_t chunkRows(std::size_t ci) const
+    {
+        return layout[ci].rows;
+    }
+
+    /** Effective budget this stream was planned under, in bytes. */
+    std::size_t budgetBytes() const { return budget; }
+
+    /** Spill file path (exists only after the first pass). */
+    const std::string &spillFilePath() const { return spillFile; }
+
+    /** Passes completed (build pass included). */
+    std::size_t passCount() const { return passes; }
+
+  private:
+    struct ChunkLayout
+    {
+        std::size_t firstGroup = 0;
+        std::size_t groups = 0;
+        std::size_t rows = 0;
+    };
+
+    /** First pass: fused build + DRAM accumulate + spill + visit. */
+    void buildPass(const ChunkFn &fn);
+
+    /** Later passes: re-load chunks from the spill file + visit. */
+    void loadPass(const ChunkFn &fn);
+
+    /** Group sizes of chunk `ci` as WorkTrace wants them. */
+    std::vector<std::size_t> chunkGroupSizes(std::size_t ci) const;
+
+    const Trace &src;
+    const GpuSimulator &sim;
+    StreamOptions opt;
+    std::uint64_t capKey = 0;
+    std::size_t budget = 0;
+    std::vector<ChunkLayout> layout;
+    std::size_t totalRows = 0;
+    std::size_t totalGroups = 0;
+    std::size_t maxRows = 0;
+    std::string spillFile;
+    bool built = false;
+    double dramTotal = 0.0;
+    std::size_t passes = 0;
+};
+
+} // namespace gws
+
+#endif // GWS_GPUSIM_STREAMING_WORK_TRACE_HH

@@ -81,6 +81,12 @@ WorkTrace::work(std::size_t i) const
     return w;
 }
 
+std::size_t
+WorkTrace::residentBytes(std::size_t rows)
+{
+    return numColumns * paddedStride(rows) * sizeof(double);
+}
+
 double
 WorkTrace::totalDramBytes() const
 {

@@ -1,0 +1,45 @@
+#include "obs/mem.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hh"
+
+namespace gws {
+namespace obs {
+
+std::size_t
+peakRssBytes()
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return 0;
+    std::size_t bytes = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+        // "VmHWM:      123456 kB" — the peak resident set size.
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            unsigned long long kb = 0;
+            if (std::sscanf(line + 6, "%llu", &kb) == 1)
+                bytes = static_cast<std::size_t>(kb) * 1024;
+            break;
+        }
+    }
+    std::fclose(f);
+    return bytes;
+#else
+    return 0;
+#endif
+}
+
+void
+updatePeakRssGauge()
+{
+    static Gauge &gauge =
+        metricsRegistry().gauge("gws.mem.peak_rss_bytes");
+    gauge.set(static_cast<double>(peakRssBytes()));
+}
+
+} // namespace obs
+} // namespace gws

@@ -1,13 +1,14 @@
 /**
  * @file
  * Umbrella header for the observability layer: span tracer (trace.hh),
- * metrics registry (metrics.hh), and the Prometheus text exporter
- * (metrics_text.hh).
+ * metrics registry (metrics.hh), the Prometheus text exporter
+ * (metrics_text.hh), and the peak-RSS probe (mem.hh).
  */
 
 #ifndef GWS_OBS_OBS_HH
 #define GWS_OBS_OBS_HH
 
+#include "obs/mem.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_text.hh"
 #include "obs/trace.hh"

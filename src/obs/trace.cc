@@ -9,6 +9,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "obs/mem.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_text.hh"
 #include "util/logging.hh"
@@ -371,6 +372,9 @@ setMetricsTextOutputPath(const std::string &metricsTextPath)
 void
 flushObservability()
 {
+    // Final peak-RSS sample so every export carries the high-water
+    // mark of the whole run.
+    updatePeakRssGauge();
     std::string trace_path, metrics_path, metrics_text_path;
     {
         std::lock_guard<std::mutex> lock(g_export_mutex);

@@ -1,0 +1,200 @@
+#include "trace/wtrc_io.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "util/codec.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+constexpr std::uint32_t wtrcMagic = 0x43545747;  // "GWTC" little-endian
+constexpr std::uint32_t chunkMagic = 0x48435747; // "GWCH" little-endian
+
+/** Fixed size of the file-header payload (see encodeHeader). */
+constexpr std::uint32_t headerPayloadBytes = 8 + 8 + 8 + 4 + 4;
+
+/** Byte offset of the first chunk frame. */
+constexpr std::uint64_t firstChunkOffset =
+    framedHeaderBytes + headerPayloadBytes;
+
+std::string
+encodeHeader(std::uint64_t cap_key, std::uint64_t rows,
+             std::uint64_t groups, std::uint32_t chunks)
+{
+    ByteWriter w;
+    w.u64(cap_key);
+    w.u64(rows);
+    w.u64(groups);
+    w.u32(chunks);
+    w.u32(static_cast<std::uint32_t>(wtrcColumnCount));
+    return w.data();
+}
+
+} // namespace
+
+// ----------------------------------------------------------------- writer --
+
+WtrcWriter::WtrcWriter(std::ostream &os, std::uint64_t capacity_key)
+    : out(os), capKey(capacity_key)
+{
+    // Placeholder header; finish() rewrites it with the real totals.
+    writeFramed<WtrcError>(out, wtrcMagic, wtrcFormatVersion,
+                           encodeHeader(capKey, 0, 0, 0), "wtrc",
+                           "header");
+}
+
+void
+WtrcWriter::appendChunk(const std::vector<std::uint32_t> &group_sizes,
+                        const double *const columns[], std::size_t rows)
+{
+    GWS_ASSERT(!finished, "appendChunk after finish");
+    std::uint64_t size_sum = 0;
+    for (std::uint32_t s : group_sizes)
+        size_sum += s;
+    GWS_ASSERT(size_sum == rows, "chunk group sizes sum to ", size_sum,
+               ", not the ", rows, " rows given");
+
+    ByteWriter w;
+    w.u32(chunks);
+    w.u64(totalGroups);
+    w.u32(static_cast<std::uint32_t>(group_sizes.size()));
+    for (std::uint32_t s : group_sizes)
+        w.u32(s);
+    w.u64(rows);
+    for (std::size_t c = 0; c < wtrcColumnCount; ++c)
+        w.f64Array(columns[c], rows);
+    GWS_ASSERT(w.data().size() <= framedPayloadCap(),
+               "wtrc chunk payload of ", w.data().size(),
+               " bytes exceeds the framed payload cap; lower the chunk "
+               "row budget");
+
+    writeFramed<WtrcError>(out, chunkMagic, wtrcFormatVersion, w.data(),
+                           "wtrc chunk", std::to_string(chunks));
+    totalRows += rows;
+    totalGroups += group_sizes.size();
+    bytesWritten += w.data().size();
+    ++chunks;
+}
+
+void
+WtrcWriter::finish()
+{
+    GWS_ASSERT(!finished, "double finish");
+    finished = true;
+    const std::ostream::pos_type end = out.tellp();
+    out.seekp(0);
+    writeFramed<WtrcError>(out, wtrcMagic, wtrcFormatVersion,
+                           encodeHeader(capKey, totalRows, totalGroups,
+                                        chunks),
+                           "wtrc", "header");
+    out.seekp(end);
+    out.flush();
+    if (!out)
+        throw WtrcError("stream write failed sealing the wtrc header");
+}
+
+// ----------------------------------------------------------------- reader --
+
+WtrcReader::WtrcReader(std::istream &is) : in(is)
+{
+    ByteReader<WtrcError> r(
+        readFramed<WtrcError>(in, wtrcMagic, wtrcFormatVersion, "wtrc"),
+        "wtrc header");
+    capKey = r.u64();
+    headerRows = r.u64();
+    headerGroups = r.u64();
+    headerChunks = r.u32();
+    const std::uint32_t columns = r.u32();
+    if (columns != wtrcColumnCount)
+        r.fail("wtrc header declares " + std::to_string(columns) +
+               " columns (expected " + std::to_string(wtrcColumnCount) +
+               ")");
+    if (!r.exhausted())
+        r.fail("wtrc header has trailing bytes");
+}
+
+WtrcChunk
+WtrcReader::readChunk()
+{
+    if (nextChunk >= headerChunks)
+        throw WtrcError("wtrc read past the " +
+                        std::to_string(headerChunks) +
+                        " chunks the header declares");
+
+    ByteReader<WtrcError> r(readFramed<WtrcError>(in, chunkMagic,
+                                                  wtrcFormatVersion,
+                                                  "wtrc chunk"),
+                            "wtrc chunk");
+    WtrcChunk chunk;
+    chunk.index = r.u32();
+    if (chunk.index != nextChunk)
+        r.fail("wtrc chunk index " + std::to_string(chunk.index) +
+               " out of sequence (expected " + std::to_string(nextChunk) +
+               ")");
+    chunk.firstGroup = r.u64();
+    if (chunk.firstGroup != nextGroup)
+        r.fail("wtrc chunk first group " +
+               std::to_string(chunk.firstGroup) +
+               " out of sequence (expected " + std::to_string(nextGroup) +
+               ")");
+    const std::uint32_t group_count = r.u32();
+    r.checkCount(group_count, 4, "group");
+    chunk.groupSizes.reserve(group_count);
+    std::uint64_t size_sum = 0;
+    for (std::uint32_t g = 0; g < group_count; ++g) {
+        chunk.groupSizes.push_back(r.u32());
+        size_sum += chunk.groupSizes.back();
+    }
+    chunk.rows = r.u64();
+    if (chunk.rows != size_sum)
+        r.fail("wtrc chunk row count " + std::to_string(chunk.rows) +
+               " disagrees with its group sizes (sum " +
+               std::to_string(size_sum) + ")");
+    r.checkCount(chunk.rows, wtrcColumnCount * 8, "row");
+    chunk.columns.resize(wtrcColumnCount * chunk.rows);
+    for (std::size_t c = 0; c < wtrcColumnCount; ++c)
+        r.f64Array(chunk.columns.data() + c * chunk.rows, chunk.rows);
+    if (!r.exhausted())
+        r.fail("wtrc chunk has trailing bytes");
+
+    ++nextChunk;
+    nextGroup += group_count;
+    rowsRead += chunk.rows;
+    return chunk;
+}
+
+void
+WtrcReader::finish()
+{
+    if (nextChunk != headerChunks)
+        throw WtrcError("wtrc ended after " + std::to_string(nextChunk) +
+                        " of " + std::to_string(headerChunks) +
+                        " declared chunks");
+    if (rowsRead != headerRows)
+        throw WtrcError("wtrc chunks carry " + std::to_string(rowsRead) +
+                        " rows but the header declares " +
+                        std::to_string(headerRows));
+    if (nextGroup != headerGroups)
+        throw WtrcError("wtrc chunks carry " + std::to_string(nextGroup) +
+                        " groups but the header declares " +
+                        std::to_string(headerGroups));
+    if (in.peek() != std::istream::traits_type::eof())
+        throw WtrcError("wtrc has trailing bytes after the last chunk");
+}
+
+void
+WtrcReader::rewind()
+{
+    in.clear();
+    in.seekg(static_cast<std::istream::off_type>(firstChunkOffset));
+    if (!in)
+        throw WtrcError("wtrc rewind seek failed");
+    nextChunk = 0;
+    nextGroup = 0;
+    rowsRead = 0;
+}
+
+} // namespace gws

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The `gws.wtrc.v1` chunked on-disk work-trace container.
+ *
+ * A WorkTrace flattened for a multi-million-draw corpus no longer
+ * fits the in-RAM SoA image, so the streaming sweep engine spills it
+ * through this container: a 16-byte framed file header (magic "GWTC",
+ * same { magic, version, size, checksum } shape as every other gws
+ * format) whose payload records the capacity hash and the global
+ * row/group/chunk totals, followed by one independently framed chunk
+ * per bounded window (magic "GWCH"). Chunk boundaries are
+ * frame-aligned: every chunk carries whole groups (frames), so a
+ * consumer that processes chunks in order and reduces groups in
+ * ascending index order reproduces the in-memory engine's accumulation
+ * order bit for bit.
+ *
+ * Each chunk payload is
+ *
+ *   { chunkIndex, firstGroup, groupCount, groupSizes[groupCount],
+ *     rowCount, column-major f64 columns[wtrcColumnCount × rowCount] }
+ *
+ * storing only the twelve *raw* DrawWork columns; the four derived
+ * columns (L2/DRAM totals, weighted-op products) are recomputed at
+ * load time with exactly the build-time expressions, so a loaded
+ * chunk is bit-identical to the chunk that was spilled.
+ *
+ * Decoding has the full PR-5 strictness: bounds-checked ByteReader,
+ * checkCount() before any count-driven allocation, canonical
+ * encoding (redundant sequence fields — chunk index, first group —
+ * are validated, never trusted), and a finish() pass that rejects
+ * trailing bytes or header totals that disagree with the chunks
+ * actually read. Malformed input throws WtrcError (rooted at
+ * IoError), never UB or a silently-wrong chunk.
+ */
+
+#ifndef GWS_TRACE_WTRC_IO_HH
+#define GWS_TRACE_WTRC_IO_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace gws {
+
+/** Error thrown when a wtrc stream or file cannot be decoded. */
+class WtrcError : public IoError
+{
+  public:
+    using IoError::IoError;
+};
+
+/** Current wtrc container format version. */
+constexpr std::uint32_t wtrcFormatVersion = 1;
+
+/** Raw DrawWork columns stored per chunk (derived columns are
+ *  recomputed at load time). */
+constexpr std::size_t wtrcColumnCount = 12;
+
+/** One decoded chunk: whole groups, column-major raw columns. */
+struct WtrcChunk
+{
+    /** Position of this chunk in the container (validated). */
+    std::uint32_t index = 0;
+
+    /** Global index of the chunk's first group (validated). */
+    std::uint64_t firstGroup = 0;
+
+    /** Rows per group, in group order. */
+    std::vector<std::uint32_t> groupSizes;
+
+    /** Total rows of the chunk (== sum of groupSizes). */
+    std::uint64_t rows = 0;
+
+    /** wtrcColumnCount × rows doubles, column-major. */
+    std::vector<double> columns;
+
+    /** Start of raw column `c`. */
+    const double *
+    column(std::size_t c) const
+    {
+        return columns.data() + c * rows;
+    }
+};
+
+/**
+ * Sequential chunk writer. Writes a placeholder header up front,
+ * appends framed chunks, and patches the header (row/group/chunk
+ * totals) in finish() — so the stream must be seekable (a file or a
+ * stringstream). Append order defines chunk and group order.
+ */
+class WtrcWriter
+{
+  public:
+    /** Start a container for work computed under `capacity_key`. */
+    WtrcWriter(std::ostream &os, std::uint64_t capacity_key);
+
+    /**
+     * Append one chunk of whole groups. `columns` holds
+     * wtrcColumnCount pointers, each to `rows` doubles (the raw
+     * column slices of the resident window). `rows` must equal the
+     * sum of `group_sizes`.
+     */
+    void appendChunk(const std::vector<std::uint32_t> &group_sizes,
+                     const double *const columns[], std::size_t rows);
+
+    /** Patch the header totals; no appends afterwards. */
+    void finish();
+
+    /** Payload bytes written across all chunk frames so far. */
+    std::uint64_t chunkBytesWritten() const { return bytesWritten; }
+
+  private:
+    std::ostream &out;
+    std::uint64_t capKey = 0;
+    std::uint64_t totalRows = 0;
+    std::uint64_t totalGroups = 0;
+    std::uint32_t chunks = 0;
+    std::uint64_t bytesWritten = 0;
+    bool finished = false;
+};
+
+/**
+ * Sequential chunk reader (the bounded-window `ChunkReader`): decodes
+ * the header eagerly, then one framed chunk per readChunk() call, so
+ * at most one chunk's columns are ever resident. finish() validates
+ * the end-of-file invariants. rewind() seeks back to the first chunk
+ * for another pass.
+ */
+class WtrcReader
+{
+  public:
+    /** Decode and validate the file header; throws WtrcError. */
+    explicit WtrcReader(std::istream &is);
+
+    /** Capacity hash the spilled work was computed under. */
+    std::uint64_t capacityKey() const { return capKey; }
+
+    /** Total rows across all chunks (from the header). */
+    std::uint64_t totalRows() const { return headerRows; }
+
+    /** Total groups across all chunks (from the header). */
+    std::uint64_t totalGroups() const { return headerGroups; }
+
+    /** Chunks in the container (from the header). */
+    std::uint32_t chunkCount() const { return headerChunks; }
+
+    /** Chunks decoded so far. */
+    std::uint32_t chunksRead() const { return nextChunk; }
+
+    /** Decode the next chunk; validates the chunk sequence fields. */
+    WtrcChunk readChunk();
+
+    /**
+     * After the last chunk: reject trailing bytes and header totals
+     * that disagree with the decoded chunks. Throws WtrcError.
+     */
+    void finish();
+
+    /** Seek back to the first chunk for another sequential pass. */
+    void rewind();
+
+  private:
+    std::istream &in;
+    std::uint64_t capKey = 0;
+    std::uint64_t headerRows = 0;
+    std::uint64_t headerGroups = 0;
+    std::uint32_t headerChunks = 0;
+    std::uint32_t nextChunk = 0;
+    std::uint64_t nextGroup = 0;
+    std::uint64_t rowsRead = 0;
+};
+
+} // namespace gws
+
+#endif // GWS_TRACE_WTRC_IO_HH

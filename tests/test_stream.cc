@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Bit-identity tests of the out-of-core streaming sweep path: a
+ * StreamingWorkTrace must hand back chunks bitwise equal to the
+ * corresponding rows of the flattened WorkTrace (on the build pass
+ * and again when re-loaded from the gws.wtrc.v1 spill file), and
+ * retimeAllStreamed must reproduce retimeAll exactly — totals,
+ * per-group costs, bottleneck histograms — at every chunk size
+ * (1-frame chunks, odd mid-size chunks, one whole-trace chunk) and
+ * every thread count. The three rewired studies must produce
+ * identical figures on the streamed path under a tiny budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/energy_study.hh"
+#include "core/freq_scaling.hh"
+#include "core/pathfinding.hh"
+#include "core/subset_pipeline.hh"
+#include "core/sweep.hh"
+#include "gpusim/draw_work_cache.hh"
+#include "gpusim/streaming_work_trace.hh"
+#include "gpusim/work_trace.hh"
+#include "runtime/runtime.hh"
+#include "synth/generator.hh"
+
+namespace gws {
+namespace {
+
+/** One CI-scale playthrough shared by every test in this suite. */
+const Trace &
+testTrace()
+{
+    static const Trace t =
+        GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+            .generate();
+    return t;
+}
+
+/** The trace's workload subset (built once). */
+const WorkloadSubset &
+testSubset()
+{
+    static const WorkloadSubset s =
+        buildWorkloadSubset(testTrace(), SubsetConfig{});
+    return s;
+}
+
+/** The sweep points every retiming test uses. */
+std::vector<GpuConfig>
+sweepPoints()
+{
+    return clockSweepConfigs(makeGpuPreset("baseline"),
+                             {0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0});
+}
+
+bool
+sameSweepResult(const SweepResult &a, const SweepResult &b)
+{
+    return a.configCount == b.configCount &&
+           a.groupCount == b.groupCount && a.drawCount == b.drawCount &&
+           a.totalNs == b.totalNs && a.groupNs == b.groupNs &&
+           a.bottleneckNs == b.bottleneckNs &&
+           a.bottleneckCount == b.bottleneckCount && a.drawNs == b.drawNs;
+}
+
+/**
+ * Budgets that force the three chunk shapes the determinism argument
+ * must survive: 1 = one frame per chunk (row budget rounds to zero),
+ * an odd mid-size window, and a budget big enough that the whole
+ * trace is one chunk.
+ */
+std::vector<std::size_t>
+chunkShapeBudgets(std::size_t total_rows)
+{
+    return {1, 2 * WorkTrace::residentBytes(total_rows / 7 + 3),
+            2 * WorkTrace::residentBytes(total_rows) + (1u << 20)};
+}
+
+class StreamTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved = runtimeConfig(); }
+
+    void TearDown() override
+    {
+        setMemBudgetBytes(0);
+        setRuntimeConfig(saved);
+        shutdownGlobalThreadPool();
+    }
+
+    /** Run fn() under an explicit thread count. */
+    template <typename Fn>
+    auto
+    at(std::size_t threads, Fn &&fn)
+    {
+        RuntimeConfig cfg = saved;
+        cfg.threads = threads;
+        setRuntimeConfig(cfg);
+        return fn();
+    }
+
+    RuntimeConfig saved;
+};
+
+// ------------------------------------------------------------- layout -----
+
+TEST_F(StreamTest, ChunkLayoutIsFrameAlignedAndExhaustive)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    for (const std::size_t budget :
+         chunkShapeBudgets(trace.totalDraws())) {
+        StreamOptions opt;
+        opt.memBudgetBytes = budget;
+        StreamingWorkTrace stream(trace, sim, opt);
+
+        ASSERT_GT(stream.chunkCount(), 0u);
+        EXPECT_EQ(stream.drawCount(), trace.totalDraws());
+        EXPECT_EQ(stream.groupCount(), trace.frameCount());
+        EXPECT_EQ(stream.capacityKey(), capacityConfigHash(sim.config()));
+
+        std::size_t next_group = 0;
+        std::size_t rows = 0;
+        std::size_t max_rows = 0;
+        for (std::size_t ci = 0; ci < stream.chunkCount(); ++ci) {
+            EXPECT_EQ(stream.chunkFirstGroup(ci), next_group);
+            ASSERT_GT(stream.chunkGroupCount(ci), 0u);
+            std::size_t chunk_rows = 0;
+            for (std::size_t g = 0; g < stream.chunkGroupCount(ci); ++g)
+                chunk_rows += trace.frame(next_group + g).drawCount();
+            EXPECT_EQ(stream.chunkRows(ci), chunk_rows);
+            next_group += stream.chunkGroupCount(ci);
+            rows += chunk_rows;
+            max_rows = std::max(max_rows, chunk_rows);
+        }
+        EXPECT_EQ(next_group, trace.frameCount());
+        EXPECT_EQ(rows, trace.totalDraws());
+        EXPECT_EQ(stream.maxChunkRows(), max_rows);
+    }
+
+    // One-frame chunks at the floor budget; one chunk at the ceiling.
+    StreamOptions tiny;
+    tiny.memBudgetBytes = 1;
+    EXPECT_EQ(StreamingWorkTrace(trace, sim, tiny).chunkCount(),
+              trace.frameCount());
+    StreamOptions huge;
+    huge.memBudgetBytes =
+        2 * WorkTrace::residentBytes(trace.totalDraws()) + (1u << 20);
+    EXPECT_EQ(StreamingWorkTrace(trace, sim, huge).chunkCount(), 1u);
+}
+
+// ------------------------------------------------- chunk bit-identity -----
+
+/** Compare every chunk row against the flattened reference trace. */
+void
+expectChunksMatchFlat(StreamingWorkTrace &stream, const WorkTrace &flat)
+{
+    stream.forEachChunk([&](std::size_t, std::size_t first_group,
+                            const WorkTrace &chunk) {
+        const std::size_t base = flat.groupBegin(first_group);
+        ASSERT_LE(base + chunk.drawCount(), flat.drawCount());
+        for (std::size_t i = 0; i < chunk.drawCount(); ++i) {
+            const DrawWork a = chunk.work(i);
+            const DrawWork b = flat.work(base + i);
+            ASSERT_EQ(a.vertices, b.vertices);
+            ASSERT_EQ(a.primitives, b.primitives);
+            ASSERT_EQ(a.pixels, b.pixels);
+            ASSERT_EQ(a.vertexFetchBytes, b.vertexFetchBytes);
+            ASSERT_EQ(a.vsWeightedOps, b.vsWeightedOps);
+            ASSERT_EQ(a.psWeightedOps, b.psWeightedOps);
+            ASSERT_EQ(a.ropPixels, b.ropPixels);
+            ASSERT_EQ(a.traffic.texSamples, b.traffic.texSamples);
+            ASSERT_EQ(a.traffic.texL2FillBytes, b.traffic.texL2FillBytes);
+            ASSERT_EQ(a.traffic.texDramBytes, b.traffic.texDramBytes);
+            ASSERT_EQ(a.traffic.vertexDramBytes,
+                      b.traffic.vertexDramBytes);
+            ASSERT_EQ(a.traffic.rtDramBytes, b.traffic.rtDramBytes);
+        }
+    });
+}
+
+TEST_F(StreamTest, ChunksMatchFlatTraceOnBuildAndReload)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+    const WorkTrace flat = buildWorkTrace(trace, sim);
+
+    StreamOptions opt;
+    opt.memBudgetBytes =
+        2 * WorkTrace::residentBytes(trace.totalDraws() / 5 + 1);
+    StreamingWorkTrace stream(trace, sim, opt);
+    ASSERT_GT(stream.chunkCount(), 1u);
+
+    // Build pass, then a second pass re-loaded from the spill file:
+    // the reconstructed rows (derived columns recomputed via setRow)
+    // must be indistinguishable from the spilled ones.
+    expectChunksMatchFlat(stream, flat);
+    EXPECT_EQ(stream.passCount(), 1u);
+    expectChunksMatchFlat(stream, flat);
+    EXPECT_EQ(stream.passCount(), 2u);
+}
+
+TEST_F(StreamTest, TotalDramBytesMatchesInMemory)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+    const WorkTrace flat = buildWorkTrace(trace, sim);
+
+    for (const std::size_t budget :
+         chunkShapeBudgets(trace.totalDraws())) {
+        StreamOptions opt;
+        opt.memBudgetBytes = budget;
+        StreamingWorkTrace stream(trace, sim, opt);
+        EXPECT_EQ(stream.totalDramBytes(), flat.totalDramBytes());
+    }
+}
+
+TEST_F(StreamTest, SpillFileLifetimeFollowsKeepSpill)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    std::string path;
+    {
+        StreamingWorkTrace stream(trace, sim);
+        stream.totalDramBytes();
+        path = stream.spillFilePath();
+        ASSERT_FALSE(path.empty());
+        FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fclose(f);
+    }
+    EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr);
+}
+
+// ------------------------------------------------- sweep bit-identity -----
+
+TEST_F(StreamTest, StreamedSweepMatchesEngineAtEveryChunkSize)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+    const WorkTrace flat = buildWorkTrace(trace, sim);
+    const std::vector<GpuConfig> points = sweepPoints();
+
+    SweepConfig engine_cfg;
+    engine_cfg.path = SweepPath::Engine;
+    const SweepResult engine = retimeAll(flat, points, engine_cfg);
+
+    SweepConfig streamed_cfg;
+    streamed_cfg.path = SweepPath::Streamed;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const std::size_t budget :
+             chunkShapeBudgets(trace.totalDraws())) {
+            const SweepResult streamed = at(threads, [&] {
+                StreamOptions opt;
+                opt.memBudgetBytes = budget;
+                StreamingWorkTrace stream(trace, sim, opt);
+                return retimeAllStreamed(stream, points, streamed_cfg);
+            });
+            EXPECT_TRUE(sameSweepResult(streamed, engine))
+                << "threads=" << threads << " budget=" << budget;
+        }
+    }
+}
+
+TEST_F(StreamTest, StreamedSweepSecondPassIsIdentical)
+{
+    const Trace &trace = testTrace();
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+    const std::vector<GpuConfig> points = sweepPoints();
+
+    StreamOptions opt;
+    opt.memBudgetBytes =
+        2 * WorkTrace::residentBytes(trace.totalDraws() / 3 + 1);
+    StreamingWorkTrace stream(trace, sim, opt);
+
+    SweepConfig cfg;
+    cfg.path = SweepPath::Streamed;
+    const SweepResult first = retimeAllStreamed(stream, points, cfg);
+    const SweepResult second = retimeAllStreamed(stream, points, cfg);
+    EXPECT_GE(stream.passCount(), 2u);
+    EXPECT_TRUE(sameSweepResult(first, second));
+}
+
+// ------------------------------------------------------ path selection ----
+
+TEST_F(StreamTest, PathSelectionFollowsBudget)
+{
+    const Trace &trace = testTrace();
+    const std::size_t draws = traceDrawCount(trace);
+    EXPECT_EQ(draws, trace.totalDraws());
+
+    EXPECT_TRUE(sweepUsesStreamedPath(SweepPath::Streamed, 0));
+    EXPECT_FALSE(sweepUsesStreamedPath(SweepPath::Naive, 1u << 30));
+    EXPECT_FALSE(sweepUsesStreamedPath(SweepPath::Engine, 1u << 30));
+
+    // Auto follows the budget: a tiny override streams everything, a
+    // huge one keeps even this trace in memory.
+    setMemBudgetBytes(1);
+    EXPECT_TRUE(shouldStreamWorkTrace(draws));
+    EXPECT_TRUE(sweepUsesStreamedPath(SweepPath::Auto, draws));
+    setMemBudgetBytes(1u << 30);
+    EXPECT_FALSE(shouldStreamWorkTrace(draws));
+    EXPECT_FALSE(sweepUsesStreamedPath(SweepPath::Auto, draws));
+    setMemBudgetBytes(0);
+}
+
+// ---------------------------------------------------------------- studies --
+
+TEST_F(StreamTest, FreqScalingStreamedIsBitIdentical)
+{
+    const Trace &trace = testTrace();
+    const WorkloadSubset &subset = testSubset();
+    const GpuConfig base = makeGpuPreset("baseline");
+
+    FreqScalingConfig engine_cfg;
+    engine_cfg.path = SweepPath::Engine;
+    const FreqScalingResult engine =
+        runFreqScaling(trace, subset, base, engine_cfg);
+
+    // A tiny budget forces many chunks through the streamed parent
+    // sweep; the study's figures must not move a bit.
+    setMemBudgetBytes(1u << 20);
+    FreqScalingConfig streamed_cfg;
+    streamed_cfg.path = SweepPath::Streamed;
+    const FreqScalingResult streamed =
+        runFreqScaling(trace, subset, base, streamed_cfg);
+    setMemBudgetBytes(0);
+
+    EXPECT_EQ(streamed.parentNs, engine.parentNs);
+    EXPECT_EQ(streamed.subsetNs, engine.subsetNs);
+    EXPECT_EQ(streamed.parentImprovement, engine.parentImprovement);
+    EXPECT_EQ(streamed.subsetImprovement, engine.subsetImprovement);
+    EXPECT_EQ(streamed.correlation, engine.correlation);
+    EXPECT_EQ(streamed.maxImprovementGap, engine.maxImprovementGap);
+}
+
+TEST_F(StreamTest, DvfsStreamedIsBitIdentical)
+{
+    const Trace &trace = testTrace();
+    const WorkloadSubset &subset = testSubset();
+    const GpuConfig base = makeGpuPreset("baseline");
+
+    DvfsConfig engine_cfg;
+    engine_cfg.path = SweepPath::Engine;
+    const DvfsResult engine = runDvfsStudy(trace, subset, base, engine_cfg);
+
+    setMemBudgetBytes(1u << 20);
+    DvfsConfig streamed_cfg;
+    streamed_cfg.path = SweepPath::Streamed;
+    const DvfsResult streamed =
+        runDvfsStudy(trace, subset, base, streamed_cfg);
+    setMemBudgetBytes(0);
+
+    ASSERT_EQ(streamed.points.size(), engine.points.size());
+    for (std::size_t i = 0; i < engine.points.size(); ++i) {
+        EXPECT_EQ(streamed.points[i].parent.totalJ(),
+                  engine.points[i].parent.totalJ());
+        EXPECT_EQ(streamed.points[i].parent.energyDelay(),
+                  engine.points[i].parent.energyDelay());
+        EXPECT_EQ(streamed.points[i].subset.totalJ(),
+                  engine.points[i].subset.totalJ());
+        EXPECT_EQ(streamed.points[i].subset.energyDelay(),
+                  engine.points[i].subset.energyDelay());
+    }
+    EXPECT_EQ(streamed.parentOptimal, engine.parentOptimal);
+    EXPECT_EQ(streamed.subsetOptimal, engine.subsetOptimal);
+    EXPECT_EQ(streamed.energyCorrelation, engine.energyCorrelation);
+    EXPECT_EQ(streamed.edpCorrelation, engine.edpCorrelation);
+}
+
+TEST_F(StreamTest, PathfindingStreamedIsBitIdentical)
+{
+    const Trace &trace = testTrace();
+    const WorkloadSubset &subset = testSubset();
+    std::vector<GpuConfig> designs;
+    for (const std::string &name : gpuPresetNames())
+        designs.push_back(makeGpuPreset(name));
+
+    const PathfindingResult engine =
+        runPathfinding(trace, subset, designs, SweepPath::Engine);
+
+    setMemBudgetBytes(1u << 20);
+    const PathfindingResult streamed =
+        runPathfinding(trace, subset, designs, SweepPath::Streamed);
+    setMemBudgetBytes(0);
+
+    ASSERT_EQ(streamed.points.size(), engine.points.size());
+    for (std::size_t i = 0; i < engine.points.size(); ++i) {
+        EXPECT_EQ(streamed.points[i].parentNs, engine.points[i].parentNs);
+        EXPECT_EQ(streamed.points[i].subsetNs, engine.points[i].subsetNs);
+        EXPECT_EQ(streamed.points[i].parentSpeedup,
+                  engine.points[i].parentSpeedup);
+        EXPECT_EQ(streamed.points[i].subsetSpeedup,
+                  engine.points[i].subsetSpeedup);
+    }
+    EXPECT_EQ(streamed.parentRanking, engine.parentRanking);
+    EXPECT_EQ(streamed.subsetRanking, engine.subsetRanking);
+    EXPECT_EQ(streamed.rankingPreserved, engine.rankingPreserved);
+    EXPECT_EQ(streamed.speedupCorrelation, engine.speedupCorrelation);
+    EXPECT_EQ(streamed.rankCorrelation, engine.rankCorrelation);
+}
+
+} // namespace
+} // namespace gws
