@@ -27,6 +27,7 @@
 
 #include "gpusim/streaming_work_trace.hh"
 #include "obs/obs.hh"
+#include "partition/shards.hh"
 #include "runtime/runtime.hh"
 #include "synth/suite.hh"
 #include "util/args.hh"
@@ -100,6 +101,10 @@ addThreadsOption(ArgParser &args)
     args.addInt("mem-budget", 0,
                 "out-of-core memory budget in MiB for streamed sweeps "
                 "(0 = GWS_MEM_BUDGET or the 256 MiB default)");
+    args.addString("partition-cost", "",
+                   "shard-balancing cost function: balanced, "
+                   "critical_path, greedy, or minmax (default from "
+                   "GWS_PARTITION)");
 }
 
 /**
@@ -135,6 +140,15 @@ applyThreadsOption(const ArgParser &args)
     const std::int64_t budget_mib = args.getInt("mem-budget");
     if (budget_mib > 0)
         setMemBudgetBytes(static_cast<std::size_t>(budget_mib) << 20);
+
+    const std::string partition_cost = args.getString("partition-cost");
+    if (!partition_cost.empty()) {
+        PartitionCostFn fn = PartitionCostFn::Balanced;
+        if (!parsePartitionCostFn(partition_cost, &fn))
+            GWS_FATAL("--partition-cost wants balanced / critical_path "
+                      "/ greedy / minmax, got '", partition_cost, "'");
+        setDefaultPartitionCostFn(fn);
+    }
 }
 
 /**

@@ -76,6 +76,35 @@ run(int argc, char **argv)
                 overall.meanError * 100.0,
                 overall.meanEfficiency * 100.0);
 
+    // Clustering-family comparison: the same corpus evaluated under
+    // each algorithm (defaults except the shared leader radius), so
+    // the error/efficiency trade-off is comparable across families.
+    const ClusterAlgo families[] = {
+        ClusterAlgo::Leader, ClusterAlgo::KMeansBic,
+        ClusterAlgo::Agglomerative, ClusterAlgo::GraphPartition};
+    Table fam_table({"family", "mean err %", "max err %",
+                     "efficiency %"});
+    std::vector<CorpusPredictionReport> fam_reports;
+    for (ClusterAlgo algo : families) {
+        DrawSubsetConfig fam_cfg = cfg;
+        fam_cfg.algo = algo;
+        CorpusPredictionReport agg;
+        for (const auto &cf : ctx.corpus) {
+            const Trace &t = ctx.suite[cf.traceIndex];
+            accumulate(agg, evaluateFramePrediction(
+                                t, t.frame(cf.frameIndex), sim,
+                                fam_cfg));
+        }
+        fam_table.newRow();
+        fam_table.cell(std::string(toString(algo)));
+        fam_table.cellPercent(agg.meanError, 2);
+        fam_table.cellPercent(agg.maxError, 2);
+        fam_table.cellPercent(agg.meanEfficiency, 1);
+        fam_reports.push_back(agg);
+    }
+    std::printf("\nclustering families (error vs efficiency):\n");
+    std::fputs(fam_table.renderAscii().c_str(), stdout);
+
     BenchJsonWriter json("fig2_cluster_error");
     json.setString("scale", toString(ctx.scale));
     json.setUint("frames", overall.frames);
@@ -84,6 +113,14 @@ run(int argc, char **argv)
     json.setDouble("max_error_pct", overall.maxError * 100.0);
     json.setDouble("mean_efficiency_pct",
                    overall.meanEfficiency * 100.0);
+    for (std::size_t f = 0; f < fam_reports.size(); ++f) {
+        const std::string key =
+            std::string("family_") + toString(families[f]);
+        json.setDouble(key + "_mean_error_pct",
+                       fam_reports[f].meanError * 100.0);
+        json.setDouble(key + "_mean_efficiency_pct",
+                       fam_reports[f].meanEfficiency * 100.0);
+    }
     json.write();
 
     reportRuntime(args);

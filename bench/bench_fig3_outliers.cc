@@ -80,6 +80,45 @@ run(int argc, char **argv)
                                      static_cast<double>(total_clusters)
                                : 0.0);
 
+    // Clustering-family comparison: outlier rate of each algorithm
+    // over the same corpus (defaults except the shared leader radius).
+    const ClusterAlgo families[] = {
+        ClusterAlgo::Leader, ClusterAlgo::KMeansBic,
+        ClusterAlgo::Agglomerative, ClusterAlgo::GraphPartition};
+    Table fam_table({"family", "clusters", "outliers", "outlier %"});
+    std::vector<std::uint64_t> fam_clusters, fam_outliers;
+    for (ClusterAlgo algo : families) {
+        DrawSubsetConfig fam_cfg = cfg;
+        fam_cfg.algo = algo;
+        std::uint64_t clusters = 0, outliers = 0;
+        for (const auto &cf : ctx.corpus) {
+            const Trace &t = ctx.suite[cf.traceIndex];
+            const FrameSubset subset = buildFrameSubset(
+                t, t.frame(cf.frameIndex), fam_cfg);
+            std::vector<double> costs;
+            for (const auto &d : t.frame(cf.frameIndex).draws())
+                costs.push_back(sim.simulateDraw(t, d).totalNs);
+            const ClusterQuality q = assessClusterQuality(
+                subset.clustering, costs, fam_cfg.prediction,
+                subset.workUnits, threshold);
+            clusters += subset.clustering.k;
+            outliers += q.outliers;
+        }
+        fam_table.newRow();
+        fam_table.cell(std::string(toString(algo)));
+        fam_table.cell(clusters);
+        fam_table.cell(outliers);
+        fam_table.cellPercent(
+            clusters ? static_cast<double>(outliers) /
+                           static_cast<double>(clusters)
+                     : 0.0,
+            2);
+        fam_clusters.push_back(clusters);
+        fam_outliers.push_back(outliers);
+    }
+    std::printf("\nclustering families (outlier rate):\n");
+    std::fputs(fam_table.renderAscii().c_str(), stdout);
+
     BenchJsonWriter json("fig3_outliers");
     json.setString("scale", toString(ctx.scale));
     json.setUint("clusters", total_clusters);
@@ -89,6 +128,17 @@ run(int argc, char **argv)
                        ? 100.0 * static_cast<double>(total_outliers) /
                              static_cast<double>(total_clusters)
                        : 0.0);
+    for (std::size_t f = 0; f < fam_clusters.size(); ++f) {
+        const std::string key =
+            std::string("family_") + toString(families[f]);
+        json.setUint(key + "_clusters", fam_clusters[f]);
+        json.setDouble(
+            key + "_outlier_pct",
+            fam_clusters[f]
+                ? 100.0 * static_cast<double>(fam_outliers[f]) /
+                      static_cast<double>(fam_clusters[f])
+                : 0.0);
+    }
     json.write();
 
     reportRuntime(args);

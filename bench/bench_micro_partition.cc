@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Before/after microbenchmark of cost-balanced sharding on the sweep
+ * hot path.
+ *
+ * Builds a deliberately *skewed* synthetic WorkTrace — the first
+ * quarter of the groups carries a configurable multiple (16× by
+ * default) of the per-group draw work — and retimes a clock sweep
+ * through the same engine kernel under two scheduling strategies:
+ *
+ *  - naive:    uniform-count chunks, one per thread (the static
+ *              equal-group-count sharding a grain of ⌈groups/threads⌉
+ *              produces) — the heavy quarter lands in one chunk and
+ *              pins one thread while the rest go idle;
+ *  - balanced: contiguous equal-cost shards from the multilevel chain
+ *              partitioner (partitionTraceShards), two per thread.
+ *
+ * Scheduling never changes per-group arithmetic and the reductions
+ * fold in ascending group order, so the two results must be
+ * bit-identical — checked here, exit 1 otherwise. Reports the wall
+ * speedup and both shard plans' imbalance (max shard cost / ideal);
+ * CI asserts speedup ≥ 1.3 at 4 threads and balanced imbalance
+ * ≤ 1.1 from results/BENCH_micro_partition.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/sweep.hh"
+#include "gpusim/draw_work_cache.hh"
+#include "gpusim/gpu_config.hh"
+#include "gpusim/work_trace.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace {
+
+using namespace gws;
+
+/**
+ * A work trace whose first quarter of groups is `skew`× heavier than
+ * the rest. Row contents are deterministic pseudo-random draw work —
+ * the values only need to be plausible and nonzero; the *count* skew
+ * is what starves the uniform schedule.
+ */
+WorkTrace
+skewedWorkTrace(std::size_t groups, std::size_t base_draws, double skew)
+{
+    std::vector<std::size_t> sizes(groups);
+    const std::size_t heavy = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(base_draws) *
+                                    skew));
+    for (std::size_t g = 0; g < groups; ++g)
+        sizes[g] = g < groups / 4 ? heavy : base_draws;
+
+    WorkTrace wt(capacityConfigHash(makeGpuPreset("baseline")), sizes);
+    Rng rng(0x9e3779b97f4a7c15ull);
+    for (std::size_t i = 0; i < wt.drawCount(); ++i) {
+        DrawWork w;
+        w.vertices = rng.uniform(100.0, 5000.0);
+        w.primitives = w.vertices / 3.0;
+        w.pixels = rng.uniform(1000.0, 200000.0);
+        w.vertexFetchBytes = w.vertices * 32.0;
+        w.vsWeightedOps = w.vertices * rng.uniform(20.0, 120.0);
+        w.psWeightedOps = w.pixels * rng.uniform(10.0, 80.0);
+        w.ropPixels = w.pixels;
+        w.traffic.texSamples =
+            static_cast<std::uint64_t>(w.pixels * 2.0);
+        w.traffic.texL2FillBytes = w.pixels * 4.0;
+        w.traffic.texDramBytes = w.pixels * 1.5;
+        wt.setRow(i, w);
+    }
+    return wt;
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   t1 - t0)
+                   .count()) *
+           1e-6;
+}
+
+/** Exact equality of two sweep results (the A/B contract). */
+bool
+identical(const SweepResult &a, const SweepResult &b)
+{
+    return a.configCount == b.configCount &&
+           a.groupCount == b.groupCount && a.drawCount == b.drawCount &&
+           a.totalNs == b.totalNs && a.groupNs == b.groupNs &&
+           a.bottleneckNs == b.bottleneckNs &&
+           a.bottleneckCount == b.bottleneckCount && a.drawNs == b.drawNs;
+}
+
+/** Imbalance of a shard plan over the sweep's per-group costs. */
+double
+planImbalance(const std::vector<double> &costs,
+              const std::vector<std::size_t> &bounds)
+{
+    double total = 0.0;
+    for (double c : costs)
+        total += c;
+    const std::size_t shards = bounds.size() - 1;
+    double max_cost = 0.0;
+    for (std::size_t s = 0; s < shards; ++s) {
+        double cost = 0.0;
+        for (std::size_t g = bounds[s]; g < bounds[s + 1]; ++g)
+            cost += costs[g];
+        max_cost = std::max(max_cost, cost);
+    }
+    return max_cost / (total / static_cast<double>(shards));
+}
+
+int
+run(int argc, char **argv)
+{
+    ArgParser args("bench_micro_partition",
+                   "uniform-grain vs cost-balanced sharding A/B "
+                   "microbenchmark");
+    addThreadsOption(args);
+    args.addInt("groups", 512, "groups (frames) in the trace");
+    args.addInt("base-draws", 40, "draws per light group");
+    args.addInt("skew", 16,
+                "draw multiplier of the heavy first quarter");
+    args.addInt("configs", 8, "clock points in the sweep");
+    args.addInt("repeats", 3, "timed repetitions per variant");
+    args.addString("out", "default",
+                   "JSON output path (default = "
+                   "results/BENCH_micro_partition.json, empty = skip)");
+    if (!args.parse(argc, argv))
+        return 0;
+
+    applyThreadsOption(args);
+    const std::size_t groups = static_cast<std::size_t>(
+        std::max<std::int64_t>(8, args.getInt("groups")));
+    const std::size_t base_draws = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("base-draws")));
+    const double skew = static_cast<double>(
+        std::max<std::int64_t>(1, args.getInt("skew")));
+    const std::size_t n_cfg = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, args.getInt("configs")));
+    const std::size_t repeats = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, args.getInt("repeats")));
+    const std::size_t threads = resolvedThreadCount();
+
+    std::printf("=== MP — shard balancing A/B (groups=%zu, skew=%.0fx, "
+                "threads=%zu) ===\n",
+                groups, skew, threads);
+
+    const WorkTrace wt = skewedWorkTrace(groups, base_draws, skew);
+    std::printf("trace: %zu draws in %zu groups (first quarter %.0fx "
+                "heavy)\n",
+                wt.drawCount(), wt.groupCount(), skew);
+
+    std::vector<double> scales(n_cfg);
+    for (std::size_t i = 0; i < n_cfg; ++i)
+        scales[i] = 0.5 +
+                    1.5 * static_cast<double>(i) /
+                        static_cast<double>(n_cfg - 1);
+    const std::vector<GpuConfig> points =
+        clockSweepConfigs(makeGpuPreset("baseline"), scales);
+
+    // Naive = uniform-count chunks, one per thread: the static
+    // sharding the partitioner replaces. Balanced = cost shards.
+    SweepConfig naive_cfg;
+    naive_cfg.path = SweepPath::Engine;
+    naive_cfg.partition = PartitionPath::Naive;
+    naive_cfg.groupGrain = (groups + threads - 1) / threads;
+    naive_cfg.perDraw = true;
+    SweepConfig balanced_cfg = naive_cfg;
+    balanced_cfg.partition = PartitionPath::Balanced;
+
+    // Bit-identity check first (also warms both paths).
+    const SweepResult naive_out = retimeAll(wt, points, naive_cfg);
+    const SweepResult balanced_out = retimeAll(wt, points, balanced_cfg);
+    const bool bit_identical = identical(naive_out, balanced_out);
+    if (!bit_identical)
+        GWS_WARN("naive and balanced sharding outputs differ");
+
+    double naive_ms = 0.0;
+    double balanced_ms = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        const double nm =
+            wallMs([&] { retimeAll(wt, points, naive_cfg); });
+        naive_ms = r == 0 ? nm : std::min(naive_ms, nm);
+        const double bm =
+            wallMs([&] { retimeAll(wt, points, balanced_cfg); });
+        balanced_ms = r == 0 ? bm : std::min(balanced_ms, bm);
+    }
+    const double speedup = naive_ms / balanced_ms;
+
+    // Shard plans over the engine's per-group costs (rows + 1), for
+    // the imbalance report: naive bounds are the uniform chunks the
+    // grain produces.
+    std::vector<double> costs(groups);
+    for (std::size_t g = 0; g < groups; ++g)
+        costs[g] = static_cast<double>(wt.groupEnd(g) -
+                                       wt.groupBegin(g)) +
+                   1.0;
+    const ShardPlan plan = partitionTraceShards(
+        costs, defaultShardCount(groups), defaultPartitionCostFn());
+    std::vector<std::size_t> naive_bounds;
+    for (std::size_t g = 0; g < groups; g += naive_cfg.groupGrain)
+        naive_bounds.push_back(g);
+    naive_bounds.push_back(groups);
+    const double naive_imbalance = planImbalance(costs, naive_bounds);
+
+    std::printf("\n%-28s %10s %9s %11s\n", "variant", "wall ms",
+                "speedup", "imbalance");
+    std::printf("%-28s %10.1f %9.2f %11.3f\n", "naive (uniform chunks)",
+                naive_ms, 1.0, naive_imbalance);
+    std::printf("%-28s %10.1f %9.2f %11.3f\n",
+                "balanced (cost shards)", balanced_ms, speedup,
+                plan.imbalance);
+    std::printf("\nbit-identical naive vs balanced: %s\n",
+                bit_identical ? "yes" : "NO (BUG)");
+    std::printf("balanced plan: %zu shards over %zu groups\n",
+                plan.shardCount(), groups);
+
+    const std::string out = args.getString("out");
+    if (!out.empty()) {
+        BenchJsonWriter json("micro_partition");
+        json.setUint("groups", groups);
+        json.setUint("draws", wt.drawCount());
+        json.setUint("configs", n_cfg);
+        json.setUint("threads_used", threads);
+        json.setUint("shards", plan.shardCount());
+        json.setDouble("skew", skew);
+        json.setDouble("naive_ms", naive_ms);
+        json.setDouble("balanced_ms", balanced_ms);
+        json.setDouble("retime_speedup", speedup);
+        json.setDouble("imbalance", plan.imbalance);
+        json.setDouble("naive_imbalance", naive_imbalance);
+        json.setBool("bit_identical", bit_identical);
+        json.write(out == "default" ? "" : out);
+    }
+
+    reportRuntime(args);
+    return bit_identical ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
+}

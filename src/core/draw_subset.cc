@@ -13,6 +13,10 @@ toString(ClusterAlgo algo)
         return "leader";
       case ClusterAlgo::KMeansBic:
         return "kmeans_bic";
+      case ClusterAlgo::Agglomerative:
+        return "agglomerative";
+      case ClusterAlgo::GraphPartition:
+        return "graphpart";
     }
     GWS_PANIC("unknown cluster algo ", static_cast<int>(algo));
 }
@@ -41,10 +45,19 @@ buildFrameSubset(const Trace &trace, const Frame &frame,
     const auto points = norm.applyAll(raw);
 
     FrameSubset out;
-    if (config.algo == ClusterAlgo::Leader) {
+    switch (config.algo) {
+      case ClusterAlgo::Leader:
         out.clustering = leaderCluster(points, config.leader);
-    } else {
+        break;
+      case ClusterAlgo::KMeansBic:
         out.clustering = selectK(points, config.kselect).clustering;
+        break;
+      case ClusterAlgo::Agglomerative:
+        out.clustering = agglomerativeCluster(points, config.agglo);
+        break;
+      case ClusterAlgo::GraphPartition:
+        out.clustering = graphPartitionCluster(points, config.graphPart);
+        break;
     }
 
     out.workUnits.reserve(frame.drawCount());

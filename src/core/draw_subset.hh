@@ -9,7 +9,9 @@
 #ifndef GWS_CORE_DRAW_SUBSET_HH
 #define GWS_CORE_DRAW_SUBSET_HH
 
+#include "cluster/agglomerative.hh"
 #include "cluster/clustering.hh"
+#include "cluster/graph_partition.hh"
 #include "cluster/kselect.hh"
 #include "cluster/leader.hh"
 #include "cluster/quality.hh"
@@ -25,6 +27,12 @@ enum class ClusterAlgo : std::uint8_t
 
     /** k-means with BIC-driven k selection (SimPoint style). */
     KMeansBic = 1,
+
+    /** Bottom-up centroid-linkage merging to a distance threshold. */
+    Agglomerative = 2,
+
+    /** Multilevel partitioning of the k-NN similarity graph. */
+    GraphPartition = 3,
 };
 
 /** Printable algorithm name. */
@@ -41,6 +49,12 @@ struct DrawSubsetConfig
 
     /** k-selection parameters (used when algo == KMeansBic). */
     KSelectConfig kselect;
+
+    /** Agglomerative parameters (used when algo == Agglomerative). */
+    AgglomerativeConfig agglo;
+
+    /** Graph-partition parameters (used when algo == GraphPartition). */
+    GraphPartitionConfig graphPart;
 
     /** How member costs are predicted from representatives. */
     PredictionMode prediction = PredictionMode::Uniform;

@@ -106,6 +106,45 @@ retimeNaive(const WorkTrace &wt, std::span<const GpuConfig> configs,
 }
 
 /**
+ * Schedule per_group(g) for every group, either over cost-balanced
+ * contiguous shards (one shard plan per call, per-group cost = row
+ * count + 1 so empty groups still carry scheduling weight) or over
+ * uniform groupGrain chunks on the naive partition path. Pure
+ * scheduling: every caller keeps per-group state indexed by g and
+ * reduces in ascending group order afterwards, so both paths — and
+ * any shard count — produce bit-identical results by construction.
+ */
+template <typename Fn>
+void
+forEachGroupSharded(const WorkTrace &wt, const SweepConfig &config,
+                    Fn &&per_group)
+{
+    const std::size_t groups = wt.groupCount();
+    if (partitionUsesNaivePath(config.partition) ||
+        resolvedThreadCount() <= 1) {
+        const std::size_t grain =
+            config.groupGrain == 0 ? 1 : config.groupGrain;
+        parallelFor(0, groups, grain, per_group);
+        return;
+    }
+    std::vector<double> costs(groups);
+    for (std::size_t g = 0; g < groups; ++g)
+        costs[g] = static_cast<double>(wt.groupEnd(g) -
+                                       wt.groupBegin(g)) +
+                   1.0;
+    const std::size_t shards = config.shardCount == 0
+                                   ? defaultShardCount(groups)
+                                   : config.shardCount;
+    const ShardPlan plan = partitionTraceShards(
+        costs, shards, defaultPartitionCostFn());
+    const auto &f = per_group;
+    parallelShards(plan.bounds, [&f](std::size_t b, std::size_t e) {
+        for (std::size_t g = b; g < e; ++g)
+            f(g);
+    });
+}
+
+/**
  * Generic blocked kernel: parallel over groups, and for each draw an
  * inner loop over all configs so the row's columns are loaded once
  * per pass instead of once per design. The arithmetic per draw ×
@@ -137,9 +176,7 @@ retimeEngineGeneric(const WorkTrace &wt,
     const double *l2 = wt.l2Bytes();
     const double *dram = wt.dramBytes();
 
-    const std::size_t grain =
-        config.groupGrain == 0 ? 1 : config.groupGrain;
-    parallelFor(0, groups, grain, [&](std::size_t g) {
+    forEachGroupSharded(wt, config, [&](std::size_t g) {
         std::vector<double> acc(n_cfg, 0.0);
         double *hist_ns = &group_hist_ns[g * n_cfg * numStages];
         std::uint64_t *hist_count =
@@ -321,9 +358,7 @@ retimeEngineClocked(const WorkTrace &wt,
     const double l2_rate = h.l2Rate.front();
     const double dram_bw = h.dramBw.front();
 
-    const std::size_t grain =
-        config.groupGrain == 0 ? 1 : config.groupGrain;
-    parallelFor(0, groups, grain, [&](std::size_t g) {
+    forEachGroupSharded(wt, config, [&](std::size_t g) {
         std::vector<double> acc(n_cfg, 0.0);
         double *hist_base = &group_hist_ns[g * n_cfg * numStages];
         std::uint64_t *count_base =

@@ -55,6 +55,7 @@
 #include "core/subset_pipeline.hh"
 #include "gpusim/streaming_work_trace.hh"
 #include "gpusim/work_trace.hh"
+#include "partition/shards.hh"
 
 namespace gws {
 
@@ -106,8 +107,23 @@ struct SweepConfig
      */
     bool perDraw = false;
 
-    /** Groups per parallel chunk (0 = 1, one frame/unit per chunk). */
+    /** Groups per parallel chunk (0 = 1, one frame/unit per chunk).
+     *  Only the naive partition path chunks by count; the balanced
+     *  path derives cost-balanced shard bounds instead. */
     std::size_t groupGrain = 0;
+
+    /**
+     * How groups are sharded across threads: Balanced uses
+     * cost-balanced contiguous shards from partitionTraceShards()
+     * (equal per-shard draw work, so skewed traces keep every thread
+     * busy), Naive the uniform groupGrain chunking, Auto the process
+     * default (GWS_NAIVE_SHARD / setDefaultPartitionPath). Sharding
+     * is pure scheduling — results are bit-identical on every path.
+     */
+    PartitionPath partition = PartitionPath::Auto;
+
+    /** Shard count for the balanced path (0 = defaultShardCount). */
+    std::size_t shardCount = 0;
 };
 
 /** All totals of one retimeAll() pass. */

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The weighted-graph substrate of the multilevel partitioner.
+ *
+ * A PartGraph is a plain CSR adjacency structure with double node and
+ * edge weights — node weights carry *cost* (draws to simulate, rows to
+ * retime, work units), edge weights carry *affinity* (frame adjacency,
+ * feature-space similarity). Two builders cover the library's uses:
+ *
+ *  - buildChainGraph(): a path graph over a cost sequence, the load-
+ *    balancer input. Partitioning a chain with contiguity preserved
+ *    yields frame-aligned, equal-cost shards (partition/shards.hh).
+ *  - buildGraph(): a general graph from an explicit symmetric edge
+ *    list, the clustering-family input (cluster/graph_partition.cc
+ *    feeds it a k-NN similarity graph over feature vectors).
+ *
+ * The `chain` flag records that node order is a path; the multilevel
+ * partitioner preserves it through coarsening and restricts refinement
+ * to interval-endpoint moves, so every part of a chain partition comes
+ * out contiguous.
+ */
+
+#ifndef GWS_PARTITION_GRAPH_HH
+#define GWS_PARTITION_GRAPH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gws {
+
+/** Undirected weighted graph in CSR form. */
+struct PartGraph
+{
+    /** CSR row offsets, nodeCount() + 1 entries ({0} when empty). */
+    std::vector<std::size_t> xadj{0};
+
+    /** Neighbor ids, one run per node (each undirected edge twice). */
+    std::vector<std::uint32_t> adj;
+
+    /** Edge weights (affinity, >= 0), aligned with `adj`. */
+    std::vector<double> ewgt;
+
+    /** Node weights (cost, > 0). */
+    std::vector<double> vwgt;
+
+    /**
+     * Nodes form a path in index order (edges only between i and
+     * i+1), so partitions must stay contiguous intervals.
+     */
+    bool chain = false;
+
+    /** Number of nodes. */
+    std::size_t nodeCount() const { return xadj.size() - 1; }
+
+    /** Number of undirected edges (adjacency entries / 2). */
+    std::size_t edgeCount() const { return adj.size() / 2; }
+
+    /** Sum of all node weights. */
+    double totalNodeWeight() const;
+
+    /** Panics unless the CSR structure is self-consistent. */
+    void validate() const;
+};
+
+/**
+ * Path graph over a cost sequence: node i weighs costs[i] (clamped up
+ * to a tiny positive floor so zero-cost nodes never break balance
+ * ratios), with unit-weight edges between consecutive nodes.
+ */
+PartGraph buildChainGraph(const std::vector<double> &costs);
+
+/** One undirected edge of buildGraph()'s input. */
+struct GraphEdge
+{
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    double weight = 1.0;
+};
+
+/**
+ * General graph from node weights and an undirected edge list.
+ * Duplicate (a, b) pairs accumulate their weights; self-loops are
+ * dropped. Deterministic: adjacency runs are sorted by neighbor id.
+ */
+PartGraph buildGraph(std::vector<double> node_weights,
+                     const std::vector<GraphEdge> &edges);
+
+} // namespace gws
+
+#endif // GWS_PARTITION_GRAPH_HH

@@ -1,0 +1,167 @@
+#include "partition/shards.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/obs.hh"
+#include "runtime/runtime_config.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace gws {
+
+namespace {
+
+/** Auto-path pin: -1 = unset (env decides), else a PartitionPath. */
+std::atomic<int> pathOverride{-1};
+
+/** Cost-fn pin: -1 = unset (env decides), else a PartitionCostFn. */
+std::atomic<int> costFnOverride{-1};
+
+PartitionCostFn
+envPartitionCostFn()
+{
+    static const PartitionCostFn parsed = [] {
+        const std::string text = envString("GWS_PARTITION", "");
+        if (text.empty())
+            return PartitionCostFn::Balanced;
+        PartitionCostFn fn = PartitionCostFn::Balanced;
+        if (!parsePartitionCostFn(text, &fn))
+            GWS_WARN("GWS_PARTITION wants balanced / critical_path / "
+                     "greedy / minmax, got '", text,
+                     "'; using balanced");
+        return fn;
+    }();
+    return parsed;
+}
+
+} // namespace
+
+const char *
+toString(PartitionPath path)
+{
+    switch (path) {
+      case PartitionPath::Auto:
+        return "auto";
+      case PartitionPath::Naive:
+        return "naive";
+      case PartitionPath::Balanced:
+        return "balanced";
+    }
+    GWS_PANIC("unknown partition path ", static_cast<int>(path));
+}
+
+bool
+partitionUsesNaivePath(PartitionPath path)
+{
+    if (path == PartitionPath::Naive)
+        return true;
+    if (path == PartitionPath::Balanced)
+        return false;
+    const int pinned = pathOverride.load(std::memory_order_relaxed);
+    if (pinned == static_cast<int>(PartitionPath::Naive))
+        return true;
+    if (pinned == static_cast<int>(PartitionPath::Balanced))
+        return false;
+    static const bool forced = envBool("GWS_NAIVE_SHARD", false);
+    return forced;
+}
+
+void
+setDefaultPartitionPath(PartitionPath path)
+{
+    pathOverride.store(path == PartitionPath::Auto
+                           ? -1
+                           : static_cast<int>(path),
+                       std::memory_order_relaxed);
+}
+
+PartitionPath
+defaultPartitionPath()
+{
+    return partitionUsesNaivePath(PartitionPath::Auto)
+               ? PartitionPath::Naive
+               : PartitionPath::Balanced;
+}
+
+PartitionCostFn
+defaultPartitionCostFn()
+{
+    const int pinned = costFnOverride.load(std::memory_order_relaxed);
+    if (pinned >= 0)
+        return static_cast<PartitionCostFn>(pinned);
+    return envPartitionCostFn();
+}
+
+void
+setDefaultPartitionCostFn(PartitionCostFn fn)
+{
+    costFnOverride.store(static_cast<int>(fn),
+                         std::memory_order_relaxed);
+}
+
+ShardPlan
+partitionTraceShards(const std::vector<double> &unit_costs,
+                     std::size_t shards, PartitionCostFn cost_fn)
+{
+    obs::SpanScope span("part.shard");
+    ShardPlan plan;
+    const std::size_t n = unit_costs.size();
+    if (n == 0)
+        return plan;
+    shards = std::clamp<std::size_t>(shards, 1, n);
+
+    PartitionConfig cfg;
+    cfg.parts = shards;
+    cfg.costFn = cost_fn;
+    const PartitionResult res =
+        multilevelPartition(buildChainGraph(unit_costs), cfg);
+
+    // A chain partition is contiguous with parts numbered in index
+    // order, so the assignment is a staircase; its steps are the
+    // shard bounds.
+    plan.bounds.reserve(shards + 1);
+    for (std::size_t i = 1; i < n; ++i) {
+        if (res.assignment[i] != res.assignment[i - 1]) {
+            GWS_ASSERT(res.assignment[i] == res.assignment[i - 1] + 1,
+                       "chain partition not contiguous at unit ", i);
+            plan.bounds.push_back(i);
+        }
+    }
+    plan.bounds.push_back(n);
+    GWS_ASSERT(plan.shardCount() == shards,
+               "chain partition produced ", plan.shardCount(),
+               " shards, wanted ", shards);
+
+    // Report costs from the raw inputs, not the floored node weights.
+    plan.costs.assign(shards, 0.0);
+    double total = 0.0;
+    for (std::size_t s = 0; s < shards; ++s)
+        for (std::size_t i = plan.bounds[s]; i < plan.bounds[s + 1];
+             ++i) {
+            plan.costs[s] += unit_costs[i];
+            total += unit_costs[i];
+        }
+    const double ideal = total / static_cast<double>(shards);
+    if (ideal > 0.0)
+        plan.imbalance =
+            *std::max_element(plan.costs.begin(), plan.costs.end()) /
+            ideal;
+
+    static auto &plans =
+        obs::metricsRegistry().counter("gws.part.shard_plans");
+    static auto &imb =
+        obs::metricsRegistry().gauge("gws.part.shard_imbalance");
+    plans.increment();
+    imb.set(plan.imbalance);
+    return plan;
+}
+
+std::size_t
+defaultShardCount(std::size_t units)
+{
+    const std::size_t want = resolvedThreadCount() * 2;
+    return std::max<std::size_t>(1, std::min(units, want));
+}
+
+} // namespace gws

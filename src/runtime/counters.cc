@@ -225,6 +225,15 @@ runtimeCountersReport()
     if (c.texBindHits + c.texBindMisses > 0)
         oss << "runtime: tex-bind memo: " << c.texBindHits
             << " hits / " << c.texBindMisses << " descriptor scans\n";
+    for (const obs::MetricSnapshot &m :
+         metricsRegistry().snapshotPrefix("gws.part.")) {
+        oss << "runtime: " << m.name << ": ";
+        if (m.type == obs::MetricType::Gauge)
+            oss << m.gaugeValue;
+        else
+            oss << m.counterValue;
+        oss << "\n";
+    }
     for (const RegionStat &r : runtimeRegionStats())
         oss << "runtime: region " << r.name << ": "
             << static_cast<double>(r.ns) * 1e-6 << " ms over " << r.count

@@ -49,4 +49,16 @@ envSize(const char *name, std::size_t fallback)
     return static_cast<std::size_t>(n);
 }
 
+std::string
+envString(const char *name, const std::string &fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    std::string v{trim(raw)};
+    if (v.empty())
+        return fallback;
+    return v;
+}
+
 } // namespace gws

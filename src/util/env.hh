@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace gws {
 
@@ -29,6 +30,15 @@ bool envBool(const char *name, bool fallback);
  * std::size_t warns and returns `fallback`.
  */
 std::size_t envSize(const char *name, std::size_t fallback);
+
+/**
+ * Read a string knob, trimmed of surrounding whitespace. Unset or
+ * empty (after trimming) returns `fallback`. Validation is the
+ * caller's job — only the caller knows the accepted vocabulary — but
+ * callers are expected to GWS_WARN and fall back on unparseable
+ * values, like the readers above do.
+ */
+std::string envString(const char *name, const std::string &fallback);
 
 } // namespace gws
 
