@@ -28,6 +28,7 @@
 #include "gpusim/streaming_work_trace.hh"
 #include "obs/obs.hh"
 #include "partition/shards.hh"
+#include "report/report.hh"
 #include "runtime/runtime.hh"
 #include "synth/suite.hh"
 #include "util/args.hh"
@@ -98,6 +99,10 @@ addThreadsOption(ArgParser &args)
     args.addString("metrics-text-out", "",
                    "export the metrics registry as Prometheus text "
                    "exposition to this file");
+    args.addString("report-out", "",
+                   "write a self-contained HTML dashboard built from "
+                   "the --trace-out / --metrics-out artifacts and "
+                   "results/ to this file");
     args.addInt("mem-budget", 0,
                 "out-of-core memory budget in MiB for streamed sweeps "
                 "(0 = GWS_MEM_BUDGET or the 256 MiB default)");
@@ -163,6 +168,26 @@ reportRuntime(const ArgParser &args)
         std::fputs(obs::traceRollupReport().c_str(), stdout);
     }
     obs::flushObservability();
+
+    // --report-out feeds the artifacts just flushed (plus any
+    // results/ envelopes, the bench's own included) into the
+    // dashboard, so one flag turns a bench run into a shareable page.
+    const std::string report_out = args.getString("report-out");
+    if (!report_out.empty()) {
+        report::ReportInputs inputs;
+        inputs.tracePath = args.getString("trace-out");
+        inputs.metricsPath = args.getString("metrics-out");
+        struct stat st;
+        if (::stat("results", &st) == 0 && S_ISDIR(st.st_mode))
+            inputs.benchDir = "results";
+        try {
+            report::writeReportHtml(
+                report::buildReportModel(inputs), report_out);
+            std::printf("wrote %s\n", report_out.c_str());
+        } catch (const IoError &e) {
+            GWS_WARN("cannot write report: ", e.what());
+        }
+    }
 }
 
 /**

@@ -37,6 +37,8 @@ run(int argc, char **argv)
     Table table(headers);
 
     double min_corr = 1.0;
+    std::vector<std::string> games;
+    std::vector<std::vector<double>> subset_improvement;
     for (const auto &t : ctx.suite) {
         const WorkloadSubset subset =
             buildWorkloadSubset(t, SubsetConfig{});
@@ -58,6 +60,8 @@ run(int argc, char **argv)
         table.cell(std::string(""));
 
         min_corr = std::min(min_corr, r.correlation);
+        games.push_back(t.name());
+        subset_improvement.push_back(r.subsetImprovement);
     }
     std::fputs(table.renderAscii().c_str(), stdout);
 
@@ -69,6 +73,27 @@ run(int argc, char **argv)
     json.setString("scale", toString(ctx.scale));
     json.setUint("games", ctx.suite.size());
     json.setDouble("min_correlation_pct", min_corr * 100.0);
+
+    // The games × frequency-scale improvement matrix, in the shared
+    // results.heatmap shape gws_report renders as a sweep panel.
+    std::string hm = "{\"title\": \"subset improvement vs GPU "
+                     "frequency scale\", \"rows\": [";
+    for (std::size_t g = 0; g < games.size(); ++g)
+        hm += (g ? ", \"" : "\"") + obs::jsonEscape(games[g]) + "\"";
+    hm += "], \"cols\": [";
+    for (std::size_t s = 0; s < fcfg.scales.size(); ++s)
+        hm += (s ? ", \"" : "\"") + formatDouble(fcfg.scales[s], 1) +
+              "x\"";
+    hm += "], \"values\": [";
+    for (std::size_t g = 0; g < subset_improvement.size(); ++g) {
+        hm += g ? ", [" : "[";
+        for (std::size_t s = 0; s < subset_improvement[g].size(); ++s)
+            hm += (s ? ", " : "") +
+                  formatDouble(subset_improvement[g][s], 4);
+        hm += "]";
+    }
+    hm += "]}";
+    json.setRaw("heatmap", hm);
     json.write();
 
     reportRuntime(args);

@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -22,6 +23,8 @@ toString(MetricType type)
         return "gauge";
       case MetricType::Histogram:
         return "histogram";
+      case MetricType::Info:
+        return "info";
     }
     GWS_PANIC("unknown metric type ", static_cast<int>(type));
 }
@@ -82,6 +85,9 @@ struct MetricsRegistry::Entry
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+
+    /** Info annotation (guarded by the registry mutex, not atomic). */
+    std::string infoValue;
 };
 
 /** Name -> entry map behind one mutex (lookups only; updates are
@@ -120,6 +126,8 @@ MetricsRegistry::entryFor(const std::string &name, MetricType type)
           case MetricType::Histogram:
             entry.histogram.reset(new Histogram);
             break;
+          case MetricType::Info:
+            break; // the annotation string lives in the entry itself
         }
     }
     GWS_ASSERT(entry.type == type, "metric '", name,
@@ -144,6 +152,25 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name)
 {
     return *entryFor(name, MetricType::Histogram).histogram;
+}
+
+void
+MetricsRegistry::setInfo(const std::string &name,
+                         const std::string &value)
+{
+    // entryFor() drops the registry mutex on return, and the
+    // annotation string is not atomic, so the find-or-create and the
+    // write must share one locked section.
+    GWS_ASSERT(!name.empty(), "metric with an empty name");
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    auto [it, inserted] = impl->entries.try_emplace(name);
+    Entry &entry = it->second;
+    if (inserted)
+        entry.type = MetricType::Info;
+    GWS_ASSERT(entry.type == MetricType::Info, "metric '", name,
+               "' re-registered as info but is a ",
+               toString(entry.type));
+    entry.infoValue = value;
 }
 
 std::vector<MetricSnapshot>
@@ -182,6 +209,9 @@ MetricsRegistry::snapshotPrefix(const std::string &prefix) const
                      Histogram::bucketUpperBound(b), n});
             }
             break;
+          case MetricType::Info:
+            row.infoValue = entry.infoValue;
+            break;
         }
         out.push_back(std::move(row));
     }
@@ -211,8 +241,51 @@ MetricsRegistry::resetPrefix(const std::string &prefix)
           case MetricType::Histogram:
             entry.histogram->reset();
             break;
+          case MetricType::Info:
+            entry.infoValue.clear();
+            break;
         }
     }
+}
+
+double
+snapshotQuantile(const MetricSnapshot &row, double q)
+{
+    const std::uint64_t n = row.histCount;
+    if (n == 0)
+        return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+
+    // Nearest rank, 1-based: the smallest r with r >= q * n.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+
+    std::uint64_t cumulative = 0;
+    for (const MetricSnapshot::Bucket &b : row.buckets) {
+        if (cumulative + b.count < rank) {
+            cumulative += b.count;
+            continue;
+        }
+        // The rank'th observation lies in this bucket; place it at
+        // its midpoint position among the bucket's occupants. The
+        // open-ended top bucket interpolates over one octave.
+        const std::uint64_t hi =
+            b.hi == UINT64_MAX && b.lo > 0 ? b.lo * 2 - 1 : b.hi;
+        const double inBucket =
+            (static_cast<double>(rank - cumulative) - 0.5) /
+            static_cast<double>(b.count);
+        return static_cast<double>(b.lo) +
+               inBucket * static_cast<double>(hi - b.lo);
+    }
+    // Snapshot counts disagree with the bucket list (torn concurrent
+    // read); report the top of the recorded range.
+    return row.buckets.empty()
+               ? 0.0
+               : static_cast<double>(row.buckets.back().hi);
 }
 
 std::string
@@ -270,9 +343,17 @@ MetricsRegistry::toJson() const
           case MetricType::Gauge:
             oss << "\"value\": " << row.gaugeValue << "}";
             break;
-          case MetricType::Histogram:
+          case MetricType::Histogram: {
             oss << "\"count\": " << row.histCount
-                << ", \"sum\": " << row.histSum << ", \"buckets\": [";
+                << ", \"sum\": " << row.histSum;
+            char quant[96];
+            std::snprintf(quant, sizeof(quant),
+                          ", \"p50\": %.3f, \"p95\": %.3f, "
+                          "\"p99\": %.3f",
+                          snapshotQuantile(row, 0.50),
+                          snapshotQuantile(row, 0.95),
+                          snapshotQuantile(row, 0.99));
+            oss << quant << ", \"buckets\": [";
             for (std::size_t b = 0; b < row.buckets.size(); ++b) {
                 if (b > 0)
                     oss << ", ";
@@ -281,6 +362,11 @@ MetricsRegistry::toJson() const
                     << ", \"count\": " << row.buckets[b].count << "}";
             }
             oss << "]}";
+            break;
+          }
+          case MetricType::Info:
+            oss << "\"value\": \"" << jsonEscape(row.infoValue)
+                << "\"}";
             break;
         }
     }

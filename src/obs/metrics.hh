@@ -31,7 +31,7 @@ namespace gws {
 namespace obs {
 
 /** Kind of a registered metric (drives the export schema). */
-enum class MetricType { Counter, Gauge, Histogram };
+enum class MetricType { Counter, Gauge, Histogram, Info };
 
 /** Printable name of a metric type ("counter", ...). */
 const char *toString(MetricType type);
@@ -186,7 +186,20 @@ struct MetricSnapshot
         std::uint64_t count = 0;
     };
     std::vector<Bucket> buckets;
+
+    /** Annotation text (info metrics only). */
+    std::string infoValue;
 };
+
+/**
+ * Quantile estimate from a histogram snapshot's log2 buckets: the
+ * bucket holding the nearest-rank observation, interpolated linearly
+ * at the rank's midpoint position within the bucket. Exact up to the
+ * bucket's width — the estimate always lands in the same log2 bucket
+ * as the true nearest-rank percentile of the raw samples. `q` is
+ * clamped to [0, 1]; an empty histogram yields 0.0.
+ */
+double snapshotQuantile(const MetricSnapshot &row, double q);
 
 /**
  * The process-global name -> metric table. Names are registered on
@@ -204,6 +217,15 @@ class MetricsRegistry
 
     /** Get or create the histogram `name`. */
     Histogram &histogram(const std::string &name);
+
+    /**
+     * Set the info metric `name` to an annotation string (build
+     * revision, protocol identity, ...). Info metrics export as
+     * `{"type": "info", "value": "..."}` in JSON and as a
+     * constant-1 sample with a `value` label in Prometheus text, the
+     * conventional shape for identity metrics.
+     */
+    void setInfo(const std::string &name, const std::string &value);
 
     /** Snapshot every metric, sorted by name. */
     std::vector<MetricSnapshot> snapshot() const;

@@ -36,6 +36,25 @@ formatDouble(double v)
     return buf;
 }
 
+/** Escape a Prometheus label value (backslash, quote, newline). */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
 void
 renderOne(std::ostringstream &os, const MetricSnapshot &m)
 {
@@ -61,8 +80,24 @@ renderOne(std::ostringstream &os, const MetricSnapshot &m)
         os << base << "_bucket{le=\"+Inf\"} " << m.histCount << "\n";
         os << base << "_sum " << m.histSum << "\n";
         os << base << "_count " << m.histCount << "\n";
+        // Log2-bucket quantile estimates as plain samples, so a
+        // dashboard can plot latency percentiles without re-deriving
+        // them from the cumulative bucket series.
+        os << base << "_p50 " << formatDouble(snapshotQuantile(m, 0.50))
+           << "\n";
+        os << base << "_p95 " << formatDouble(snapshotQuantile(m, 0.95))
+           << "\n";
+        os << base << "_p99 " << formatDouble(snapshotQuantile(m, 0.99))
+           << "\n";
         break;
     }
+    case MetricType::Info:
+        // The conventional identity-metric shape: constant 1 with
+        // the annotation carried in a label.
+        os << "# TYPE " << base << " gauge\n";
+        os << base << "{value=\"" << labelEscape(m.infoValue)
+           << "\"} 1\n";
+        break;
     }
 }
 

@@ -5,9 +5,11 @@
  * sanitized to the Prometheus charset (dots become underscores),
  * counters gain the conventional `_total` suffix, and log2-bucketed
  * histograms export as cumulative `_bucket{le="..."}` series plus
- * `_sum` / `_count` — so the serving daemon's scrape reply (and the
- * `--metrics-text-out` bench option) can feed a stock Prometheus
- * scraper without an adapter.
+ * `_sum` / `_count` and `_p50` / `_p95` / `_p99` quantile estimates —
+ * so the serving daemon's scrape reply (and the `--metrics-text-out`
+ * bench option) can feed a stock Prometheus scraper without an
+ * adapter. Info metrics render as a constant-1 sample carrying their
+ * annotation in a `value` label.
  */
 
 #ifndef GWS_OBS_METRICS_TEXT_HH

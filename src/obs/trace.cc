@@ -12,6 +12,7 @@
 #include "obs/mem.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_text.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 
 namespace gws {
@@ -49,7 +50,40 @@ struct ThreadBuffer
     std::uint32_t tid = 0;
     std::vector<TraceEvent> events;
     std::vector<OpenSpan> stack;
+
+    /** Oldest retained event once `events` has wrapped as a ring. */
+    std::size_t head = 0;
 };
+
+/** Per-thread retained-event cap (0 = unbounded), from GWS_TRACE_CAP. */
+std::atomic<std::size_t> &
+traceCap()
+{
+    static std::atomic<std::size_t> cap{
+        envSize("GWS_TRACE_CAP", std::size_t{1} << 20)};
+    return cap;
+}
+
+/**
+ * Append an event to a thread's buffer, overwriting the oldest
+ * retained event (and counting the loss) once the buffer has grown to
+ * the cap — the bounded-memory contract for long streaming runs.
+ */
+void
+pushEvent(ThreadBuffer &buf, TraceEvent ev)
+{
+    const std::size_t cap =
+        traceCap().load(std::memory_order_relaxed);
+    if (cap == 0 || buf.events.size() < cap) {
+        buf.events.push_back(std::move(ev));
+        return;
+    }
+    static Counter &dropped =
+        metricsRegistry().counter("gws.trace.dropped_spans");
+    dropped.increment();
+    buf.events[buf.head] = std::move(ev);
+    buf.head = (buf.head + 1) % buf.events.size();
+}
 
 struct BufferRegistry
 {
@@ -151,7 +185,7 @@ spanEnd()
     ev.depth = static_cast<std::uint32_t>(buf.stack.size());
     ev.tid = buf.tid;
     ev.flowId = span.flowId;
-    buf.events.push_back(std::move(ev));
+    pushEvent(buf, std::move(ev));
 }
 
 } // namespace trace_detail
@@ -160,11 +194,18 @@ void
 traceBegin()
 {
     trace_detail::enabled.store(false, std::memory_order_relaxed);
+    // Touch the cap while tracing is off: its first read parses
+    // GWS_TRACE_CAP, and a malformed value warns — which records a
+    // trace instant through the observer hook. If that first read
+    // happened inside pushEvent() the warning would re-enter the
+    // cap's own static initializer.
+    traceCap().load(std::memory_order_relaxed);
     BufferRegistry &reg = bufferRegistry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     for (auto &buf : reg.buffers) {
         buf->events.clear();
         buf->stack.clear();
+        buf->head = 0;
     }
     g_trace_t0.store(nowNs(), std::memory_order_relaxed);
     trace_detail::enabled.store(true, std::memory_order_relaxed);
@@ -195,7 +236,7 @@ traceFlowStart(const char *name, std::uint64_t flowId)
     ev.depth = static_cast<std::uint32_t>(buf.stack.size());
     ev.tid = buf.tid;
     ev.flowId = flowId;
-    buf.events.push_back(std::move(ev));
+    pushEvent(buf, std::move(ev));
 }
 
 void
@@ -211,7 +252,7 @@ traceInstant(const char *name, const std::string &detail)
     ev.startNs = sinceT0(nowNs());
     ev.depth = static_cast<std::uint32_t>(buf.stack.size());
     ev.tid = buf.tid;
-    buf.events.push_back(std::move(ev));
+    pushEvent(buf, std::move(ev));
 }
 
 std::size_t
@@ -231,9 +272,29 @@ traceSnapshot()
     BufferRegistry &reg = bufferRegistry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     std::vector<TraceEvent> out;
-    for (const auto &buf : reg.buffers)
-        out.insert(out.end(), buf->events.begin(), buf->events.end());
+    for (const auto &buf : reg.buffers) {
+        // A wrapped ring buffer's oldest event sits at `head`; emit
+        // oldest-first so timelines stay monotone per thread.
+        const auto begin = buf->events.begin();
+        out.insert(out.end(), begin + static_cast<std::ptrdiff_t>(
+                                          buf->head),
+                   buf->events.end());
+        out.insert(out.end(), begin,
+                   begin + static_cast<std::ptrdiff_t>(buf->head));
+    }
     return out;
+}
+
+void
+setTraceCapPerThread(std::size_t cap)
+{
+    traceCap().store(cap, std::memory_order_relaxed);
+}
+
+std::size_t
+traceCapPerThread()
+{
+    return traceCap().load(std::memory_order_relaxed);
 }
 
 std::vector<SpanRollup>

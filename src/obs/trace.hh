@@ -62,6 +62,20 @@ void traceBegin();
 /** Stop recording (already-recorded spans stay exportable). */
 void traceEnd();
 
+/**
+ * Bound each thread's event buffer to `cap` retained events (0 =
+ * unbounded). Once a buffer is full it becomes a ring: the newest
+ * event overwrites the oldest, and every overwrite increments the
+ * `gws.trace.dropped_spans` counter — so a long streaming run keeps
+ * the tail of its timeline at a fixed memory cost instead of growing
+ * without bound. The default comes from the GWS_TRACE_CAP environment
+ * variable (1M events per thread when unset). Requires quiescence.
+ */
+void setTraceCapPerThread(std::size_t cap);
+
+/** The current per-thread retained-event cap (0 = unbounded). */
+std::size_t traceCapPerThread();
+
 /** Phase of a recorded trace event. */
 enum class TracePhase : std::uint8_t {
     Complete,   ///< a span with start + duration ("X")

@@ -1,0 +1,510 @@
+#include "report/analysis.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace gws {
+namespace report {
+
+SpanForest
+buildSpanForest(const TraceData &trace)
+{
+    SpanForest forest;
+
+    // Split complete spans by thread; record flow starts as-is.
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> byTid;
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const TraceSpan &ev = trace.events[i];
+        if (ev.phase == 'X') {
+            byTid[ev.tid].push_back(i);
+            forest.threads =
+                std::max(forest.threads, ev.tid + 1);
+        } else if (ev.phase == 's') {
+            forest.flowStarts.push_back(
+                FlowStartEvent{ev.flowId, ev.startNs, ev.tid});
+            forest.threads =
+                std::max(forest.threads, ev.tid + 1);
+        }
+    }
+
+    bool any = false;
+    for (auto &[tid, indices] : byTid) {
+        // Interval nesting: earliest start first, and at equal starts
+        // the longest span first so a parent precedes the children it
+        // contains.
+        std::sort(indices.begin(), indices.end(),
+                  [&trace](std::size_t a, std::size_t b) {
+                      const TraceSpan &ea = trace.events[a];
+                      const TraceSpan &eb = trace.events[b];
+                      if (ea.startNs != eb.startNs)
+                          return ea.startNs < eb.startNs;
+                      return ea.durationNs > eb.durationNs;
+                  });
+
+        std::vector<std::size_t> stack; // node indices, open spans
+        for (std::size_t idx : indices) {
+            const TraceSpan &ev = trace.events[idx];
+            const std::uint64_t end = ev.startNs + ev.durationNs;
+            while (!stack.empty()) {
+                const SpanNode &top = forest.nodes[stack.back()];
+                const std::uint64_t topEnd =
+                    top.startNs + top.durationNs;
+                if (ev.startNs >= top.startNs && end <= topEnd)
+                    break; // contained: top is the parent
+                stack.pop_back();
+            }
+
+            SpanNode node;
+            node.name = ev.name;
+            node.startNs = ev.startNs;
+            node.durationNs = ev.durationNs;
+            node.selfNs = ev.durationNs;
+            node.tid = tid;
+            node.flowId = ev.flowId;
+            node.depth = static_cast<std::uint32_t>(stack.size());
+            const std::size_t nodeIndex = forest.nodes.size();
+            if (!stack.empty()) {
+                node.parent = stack.back();
+                forest.nodes[stack.back()].children.push_back(
+                    nodeIndex);
+            } else {
+                forest.roots.push_back(nodeIndex);
+            }
+            forest.nodes.push_back(std::move(node));
+            stack.push_back(nodeIndex);
+
+            if (!any || ev.startNs < forest.minStartNs)
+                forest.minStartNs = ev.startNs;
+            if (!any || end > forest.maxEndNs)
+                forest.maxEndNs = end;
+            any = true;
+        }
+    }
+
+    // Self time: duration minus direct children.
+    for (SpanNode &node : forest.nodes) {
+        std::uint64_t childNs = 0;
+        for (std::size_t c : node.children)
+            childNs += forest.nodes[c].durationNs;
+        node.selfNs =
+            node.durationNs >= childNs ? node.durationNs - childNs : 0;
+    }
+
+    // Cross-thread determinism: roots in start order.
+    std::sort(forest.roots.begin(), forest.roots.end(),
+              [&forest](std::size_t a, std::size_t b) {
+                  const SpanNode &na = forest.nodes[a];
+                  const SpanNode &nb = forest.nodes[b];
+                  if (na.startNs != nb.startNs)
+                      return na.startNs < nb.startNs;
+                  return na.tid < nb.tid;
+              });
+    return forest;
+}
+
+UtilizationTimeline
+computeUtilization(const SpanForest &forest, std::size_t bins,
+                   std::size_t maxStages)
+{
+    UtilizationTimeline tl;
+    if (bins == 0 || forest.nodes.empty())
+        return tl;
+
+    tl.t0Ns = forest.minStartNs;
+    tl.t1Ns = std::max(forest.maxEndNs, forest.minStartNs + 1);
+    tl.binNs = (tl.t1Ns - tl.t0Ns + bins - 1) / bins;
+
+    const std::uint32_t threads = std::max(forest.threads, 1u);
+    tl.perThread.assign(threads, std::vector<double>(bins, 0.0));
+    tl.meanOccupancy.assign(bins, 0.0);
+
+    // Overlap of [s, e) with each bin, as ns handed to `add`.
+    auto spread = [&tl, bins](std::uint64_t s, std::uint64_t e,
+                              auto &&add) {
+        if (e <= s)
+            return;
+        const std::uint64_t rel0 = s - std::min(s, tl.t0Ns);
+        std::size_t b = static_cast<std::size_t>(rel0 / tl.binNs);
+        if (b >= bins)
+            return;
+        std::uint64_t cursor = s;
+        while (cursor < e && b < bins) {
+            const std::uint64_t binEnd =
+                tl.t0Ns + (static_cast<std::uint64_t>(b) + 1) *
+                              tl.binNs;
+            const std::uint64_t stop = std::min(e, binEnd);
+            add(b, static_cast<double>(stop - cursor));
+            cursor = stop;
+            ++b;
+        }
+    };
+
+    // Occupancy: root spans only (they cover all nested work).
+    for (std::size_t r : forest.roots) {
+        const SpanNode &node = forest.nodes[r];
+        spread(node.startNs, node.startNs + node.durationNs,
+               [&tl, &node](std::size_t b, double ns) {
+                   tl.perThread[node.tid][b] += ns;
+               });
+    }
+    const double binNs = static_cast<double>(tl.binNs);
+    for (std::vector<double> &track : tl.perThread)
+        for (double &v : track)
+            v = std::min(1.0, v / binNs);
+    for (std::size_t b = 0; b < bins; ++b) {
+        double sum = 0.0;
+        for (const std::vector<double> &track : tl.perThread)
+            sum += track[b];
+        tl.meanOccupancy[b] = sum / static_cast<double>(threads);
+    }
+
+    // Stage tracks: top names by total self time, tail -> "(other)".
+    std::unordered_map<std::string, std::uint64_t> selfByName;
+    for (const SpanNode &node : forest.nodes)
+        selfByName[node.name] += node.selfNs;
+    std::vector<std::pair<std::string, std::uint64_t>> ranked(
+        selfByName.begin(), selfByName.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+
+    std::unordered_map<std::string, std::size_t> stageIndex;
+    for (const auto &[name, selfNs] : ranked) {
+        if (tl.stageNames.size() < maxStages) {
+            stageIndex[name] = tl.stageNames.size();
+            tl.stageNames.push_back(name);
+        }
+    }
+    const bool hasOther = ranked.size() > tl.stageNames.size();
+    if (hasOther)
+        tl.stageNames.push_back("(other)");
+    tl.perStage.assign(tl.stageNames.size(),
+                       std::vector<double>(bins, 0.0));
+
+    for (const SpanNode &node : forest.nodes) {
+        if (node.selfNs == 0)
+            continue;
+        auto it = stageIndex.find(node.name);
+        const std::size_t stage = it != stageIndex.end()
+                                      ? it->second
+                                      : tl.stageNames.size() - 1;
+        // Self time is spread uniformly over the span's extent: the
+        // trace records where children sat, not which gaps were
+        // self work, and the uniform density is exact in aggregate.
+        const double density =
+            node.durationNs
+                ? static_cast<double>(node.selfNs) /
+                      static_cast<double>(node.durationNs)
+                : 0.0;
+        spread(node.startNs, node.startNs + node.durationNs,
+               [&tl, stage, density](std::size_t b, double ns) {
+                   tl.perStage[stage][b] += ns * density;
+               });
+    }
+    return tl;
+}
+
+namespace {
+
+/** Critical-path state shared by the cp / mark recursions. */
+struct CpContext
+{
+    const SpanForest &forest;
+
+    /** flowId -> owner node (npos = ownerless). */
+    std::unordered_map<std::uint64_t, std::size_t> owners;
+
+    /** flowId -> member chunk node indices. */
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+        groups;
+
+    /** Memoised cp() per node. */
+    std::vector<std::uint64_t> cp;
+
+    /** criticalNs accumulator per node index (marked pass). */
+    std::vector<bool> critical;
+};
+
+/** cp(node): self + sequential children + max over owned fan-outs. */
+std::uint64_t
+computeCp(CpContext &ctx, std::size_t n)
+{
+    if (ctx.cp[n] != static_cast<std::uint64_t>(-1))
+        return ctx.cp[n];
+    const SpanNode &node = ctx.forest.nodes[n];
+    std::uint64_t total = node.selfNs;
+    for (std::size_t c : node.children) {
+        const SpanNode &child = ctx.forest.nodes[c];
+        const bool ownedHere =
+            child.flowId != 0 &&
+            ctx.owners.count(child.flowId) != 0 &&
+            ctx.owners.at(child.flowId) == n;
+        if (!ownedHere)
+            total += computeCp(ctx, c);
+        else
+            computeCp(ctx, c); // memoise for the group max below
+    }
+    for (const auto &[flowId, owner] : ctx.owners) {
+        if (owner != n)
+            continue;
+        std::uint64_t best = 0;
+        for (std::size_t chunk : ctx.groups.at(flowId))
+            best = std::max(best, computeCp(ctx, chunk));
+        total += best;
+    }
+    ctx.cp[n] = total;
+    return total;
+}
+
+/** Mark the nodes whose self time lies on the critical path. */
+void
+markCritical(CpContext &ctx, std::size_t n)
+{
+    ctx.critical[n] = true;
+    const SpanNode &node = ctx.forest.nodes[n];
+    for (std::size_t c : node.children) {
+        const SpanNode &child = ctx.forest.nodes[c];
+        const bool ownedHere =
+            child.flowId != 0 &&
+            ctx.owners.count(child.flowId) != 0 &&
+            ctx.owners.at(child.flowId) == n;
+        if (!ownedHere)
+            markCritical(ctx, c);
+    }
+    for (const auto &[flowId, owner] : ctx.owners) {
+        if (owner != n)
+            continue;
+        std::size_t best = SpanNode::npos;
+        std::uint64_t bestCp = 0;
+        for (std::size_t chunk : ctx.groups.at(flowId)) {
+            if (best == SpanNode::npos || ctx.cp[chunk] > bestCp) {
+                best = chunk;
+                bestCp = ctx.cp[chunk];
+            }
+        }
+        if (best != SpanNode::npos)
+            markCritical(ctx, best);
+    }
+}
+
+} // namespace
+
+Attribution
+computeAttribution(const SpanForest &forest)
+{
+    Attribution out;
+    if (forest.nodes.empty())
+        return out;
+    out.wallNs = forest.maxEndNs - forest.minStartNs;
+
+    CpContext ctx{forest, {}, {}, {}, {}};
+    ctx.cp.assign(forest.nodes.size(),
+                  static_cast<std::uint64_t>(-1));
+    ctx.critical.assign(forest.nodes.size(), false);
+
+    // Group chunks by flow id; only groups with a recorded flow
+    // start get stitched (orphans fall back to plain tree nodes).
+    std::unordered_map<std::uint64_t, FlowStartEvent> starts;
+    for (const FlowStartEvent &fs : forest.flowStarts)
+        starts[fs.flowId] = fs;
+    for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+        const std::uint64_t flowId = forest.nodes[i].flowId;
+        if (flowId == 0)
+            continue;
+        if (starts.count(flowId) == 0) {
+            ++out.orphanChunks;
+            continue;
+        }
+        ctx.groups[flowId].push_back(i);
+    }
+
+    // Owner = deepest span on the submitting thread whose interval
+    // contains the flow-start timestamp.
+    for (auto &[flowId, members] : ctx.groups) {
+        const FlowStartEvent &fs = starts.at(flowId);
+        std::size_t owner = SpanNode::npos;
+        std::uint32_t ownerDepth = 0;
+        for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+            const SpanNode &node = forest.nodes[i];
+            if (node.tid != fs.tid || node.flowId == flowId)
+                continue;
+            if (fs.tsNs < node.startNs ||
+                fs.tsNs >= node.startNs + node.durationNs)
+                continue;
+            if (owner == SpanNode::npos || node.depth >= ownerDepth) {
+                owner = i;
+                ownerDepth = node.depth;
+            }
+        }
+        ctx.owners[flowId] = owner;
+        (void)members;
+    }
+    out.fanOuts = ctx.groups.size();
+
+    // Critical path = sequential composition of the non-chunk roots
+    // plus, for fan-outs nobody owns, their longest chunk.
+    std::vector<std::size_t> countedRoots;
+    for (std::size_t r : forest.roots) {
+        const SpanNode &node = forest.nodes[r];
+        const bool groupedChunk =
+            node.flowId != 0 && ctx.groups.count(node.flowId) != 0;
+        if (!groupedChunk)
+            countedRoots.push_back(r);
+    }
+    for (std::size_t r : countedRoots)
+        out.criticalPathNs += computeCp(ctx, r);
+    for (const auto &[flowId, members] : ctx.groups) {
+        // Ensure every chunk is memoised before taking group maxima.
+        for (std::size_t chunk : members)
+            computeCp(ctx, chunk);
+        if (ctx.owners.at(flowId) == SpanNode::npos) {
+            std::uint64_t best = 0;
+            for (std::size_t chunk : members)
+                best = std::max(best, ctx.cp[chunk]);
+            out.criticalPathNs += best;
+        }
+    }
+
+    for (std::size_t r : countedRoots)
+        markCritical(ctx, r);
+    for (const auto &[flowId, members] : ctx.groups) {
+        if (ctx.owners.at(flowId) != SpanNode::npos)
+            continue;
+        std::size_t best = SpanNode::npos;
+        std::uint64_t bestCp = 0;
+        for (std::size_t chunk : members)
+            if (best == SpanNode::npos || ctx.cp[chunk] > bestCp) {
+                best = chunk;
+                bestCp = ctx.cp[chunk];
+            }
+        if (best != SpanNode::npos)
+            markCritical(ctx, best);
+    }
+
+    // Parallel savings: what the fan-outs' non-critical chunks would
+    // have cost if run sequentially.
+    for (const auto &[flowId, members] : ctx.groups) {
+        std::uint64_t sum = 0;
+        std::uint64_t best = 0;
+        for (std::size_t chunk : members) {
+            sum += ctx.cp[chunk];
+            best = std::max(best, ctx.cp[chunk]);
+        }
+        out.parallelSavedNs += sum - best;
+    }
+
+    // Roll up per name.
+    std::unordered_map<std::string, std::size_t> rowIndex;
+    for (std::size_t i = 0; i < forest.nodes.size(); ++i) {
+        const SpanNode &node = forest.nodes[i];
+        auto [it, inserted] =
+            rowIndex.try_emplace(node.name, out.rows.size());
+        if (inserted)
+            out.rows.push_back(AttributionRow{node.name, 0, 0, 0, 0});
+        AttributionRow &row = out.rows[it->second];
+        row.count += 1;
+        row.totalNs += node.durationNs;
+        row.selfNs += node.selfNs;
+        if (ctx.critical[i])
+            row.criticalNs += node.selfNs;
+    }
+    std::sort(out.rows.begin(), out.rows.end(),
+              [](const AttributionRow &a, const AttributionRow &b) {
+                  if (a.criticalNs != b.criticalNs)
+                      return a.criticalNs > b.criticalNs;
+                  if (a.selfNs != b.selfNs)
+                      return a.selfNs > b.selfNs;
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::vector<Heatmap>
+extractHeatmaps(const std::vector<BenchEnvelope> &benches)
+{
+    std::vector<Heatmap> out;
+    for (const BenchEnvelope &env : benches) {
+        const JsonValue *hm = env.results.find("heatmap");
+        if (hm == nullptr)
+            continue;
+        Heatmap h;
+        h.source = env.bench;
+        h.title = hm->at("title").string();
+        for (const JsonValue &r : hm->at("rows").array())
+            h.rowLabels.push_back(r.string());
+        for (const JsonValue &c : hm->at("cols").array())
+            h.colLabels.push_back(c.string());
+        const auto &rows = hm->at("values").array();
+        if (rows.size() != h.rowLabels.size())
+            throw ReportError("report: heatmap in " + env.bench +
+                              " has " + std::to_string(rows.size()) +
+                              " value rows for " +
+                              std::to_string(h.rowLabels.size()) +
+                              " labels");
+        for (const JsonValue &row : rows) {
+            std::vector<double> vals;
+            for (const JsonValue &v : row.array())
+                vals.push_back(v.number());
+            if (vals.size() != h.colLabels.size())
+                throw ReportError(
+                    "report: heatmap in " + env.bench +
+                    " has a ragged value row");
+            h.values.push_back(std::move(vals));
+        }
+        out.push_back(std::move(h));
+    }
+    return out;
+}
+
+std::vector<ClusterQualityRow>
+extractClusterQuality(const std::vector<BenchEnvelope> &benches)
+{
+    static const struct
+    {
+        const char *suffix;
+        double ClusterQualityRow::*field;
+    } facets[] = {
+        {"_mean_error_pct", &ClusterQualityRow::meanErrorPct},
+        {"_mean_efficiency_pct",
+         &ClusterQualityRow::meanEfficiencyPct},
+        {"_outlier_pct", &ClusterQualityRow::outlierPct},
+        {"_clusters", &ClusterQualityRow::clusters},
+    };
+
+    std::vector<ClusterQualityRow> out;
+    auto rowFor = [&out](const std::string &family)
+        -> ClusterQualityRow & {
+        for (ClusterQualityRow &row : out)
+            if (row.family == family)
+                return row;
+        const double nan = std::nan("");
+        out.push_back(ClusterQualityRow{family, nan, nan, nan, nan});
+        return out.back();
+    };
+
+    for (const BenchEnvelope &env : benches) {
+        for (const auto &[key, value] : env.results.members()) {
+            if (key.compare(0, 7, "family_") != 0)
+                continue;
+            for (const auto &facet : facets) {
+                const std::size_t n = std::strlen(facet.suffix);
+                if (key.size() <= 7 + n ||
+                    key.compare(key.size() - n, n, facet.suffix) != 0)
+                    continue;
+                const std::string family =
+                    key.substr(7, key.size() - 7 - n);
+                rowFor(family).*facet.field = value.number();
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace gws

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Span analytics over ingested artifacts.
+ *
+ * The Chrome trace is a flat event list; analysis rebuilds structure
+ * from it in three steps:
+ *
+ *  1. buildSpanForest() — per-thread interval nesting (sort by start
+ *     ascending / duration descending, then a stack sweep) recovers
+ *     the span tree each thread recorded, plus self time (duration
+ *     minus direct children).
+ *
+ *  2. computeUtilization() — bins the timeline and measures, per
+ *     thread, the fraction of each bin covered by root spans
+ *     (occupancy), and per stage (span name), the self-time density
+ *     landing in each bin. This is the data behind the dashboard's
+ *     per-stage utilization tracks.
+ *
+ *  3. computeAttribution() — bottleneck attribution. Self time ranks
+ *     spans by where wall time was actually spent; the critical path
+ *     stitches parallelFor fan-outs through their flow ids: every
+ *     chunk span carries the flow id of the submitting call, the
+ *     "owner" of a fan-out is the deepest span on the submitting
+ *     thread containing the flow-start timestamp, and the fan-out
+ *     contributes max-over-chunks (not sum) to its owner's path.
+ *     parallelSavedNs = Σ(sum - max) over fan-outs is the wall time
+ *     parallelism actually removed from the critical path.
+ *
+ * Bench-envelope extractors (heatmaps, cluster-quality rows) live
+ * here too so the HTML layer renders pre-digested structs only.
+ */
+
+#ifndef GWS_REPORT_ANALYSIS_HH
+#define GWS_REPORT_ANALYSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "report/ingest.hh"
+
+namespace gws {
+namespace report {
+
+/** One node of the rebuilt span forest. */
+struct SpanNode
+{
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /** Span name. */
+    std::string name;
+
+    /** Start, ns since trace begin. */
+    std::uint64_t startNs = 0;
+
+    /** Wall duration. */
+    std::uint64_t durationNs = 0;
+
+    /** Duration minus direct children's duration. */
+    std::uint64_t selfNs = 0;
+
+    /** Recording thread's dense id. */
+    std::uint32_t tid = 0;
+
+    /** Nesting depth on its thread (0 = root). */
+    std::uint32_t depth = 0;
+
+    /** Fan-out flow id carried by chunk spans (0 = none). */
+    std::uint64_t flowId = 0;
+
+    /** Parent node index, npos for roots. */
+    std::size_t parent = npos;
+
+    /** Child node indices, in start order. */
+    std::vector<std::size_t> children;
+};
+
+/** A flow-start marker (fan-out source). */
+struct FlowStartEvent
+{
+    std::uint64_t flowId = 0;
+    std::uint64_t tsNs = 0;
+    std::uint32_t tid = 0;
+};
+
+/** The rebuilt forest plus timeline extents. */
+struct SpanForest
+{
+    std::vector<SpanNode> nodes;
+
+    /** Root node indices (all threads), in start order. */
+    std::vector<std::size_t> roots;
+
+    /** Flow starts, in file order. */
+    std::vector<FlowStartEvent> flowStarts;
+
+    /** Number of distinct thread tracks (max tid + 1). */
+    std::uint32_t threads = 0;
+
+    /** Timeline extent over all complete spans. */
+    std::uint64_t minStartNs = 0;
+    std::uint64_t maxEndNs = 0;
+};
+
+/** Rebuild span trees from a flat trace. */
+SpanForest buildSpanForest(const TraceData &trace);
+
+/** Binned occupancy tracks. */
+struct UtilizationTimeline
+{
+    /** Timeline extent the bins cover. */
+    std::uint64_t t0Ns = 0;
+    std::uint64_t t1Ns = 0;
+
+    /** Bin width (ns); bins.size() == binCount for every track. */
+    std::uint64_t binNs = 0;
+
+    /** perThread[tid][bin] = fraction of the bin covered by that
+     *  thread's root spans (0..1). */
+    std::vector<std::vector<double>> perThread;
+
+    /** Stage (span name) labels, busiest first; the last entry may
+     *  be "(other)" aggregating the tail. */
+    std::vector<std::string> stageNames;
+
+    /** perStage[stage][bin] = self-time ns landing in the bin,
+     *  summed across threads. */
+    std::vector<std::vector<double>> perStage;
+
+    /** Mean occupancy across threads per bin (0..1). */
+    std::vector<double> meanOccupancy;
+};
+
+/**
+ * Bin the forest's timeline into `bins` slices and compute occupancy
+ * per thread and self-time density per stage (top `maxStages` names
+ * by total self time; the rest fold into "(other)").
+ */
+UtilizationTimeline computeUtilization(const SpanForest &forest,
+                                       std::size_t bins,
+                                       std::size_t maxStages);
+
+/** Per-span-name attribution row. */
+struct AttributionRow
+{
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+    std::uint64_t selfNs = 0;
+
+    /** Self time this name contributed on the critical path. */
+    std::uint64_t criticalNs = 0;
+};
+
+/** Bottleneck attribution over the whole forest. */
+struct Attribution
+{
+    /** Rows sorted by descending critical-path contribution, then
+     *  self time. */
+    std::vector<AttributionRow> rows;
+
+    /** Wall extent of the trace (maxEnd - minStart). */
+    std::uint64_t wallNs = 0;
+
+    /** Length of the flow-stitched critical path. */
+    std::uint64_t criticalPathNs = 0;
+
+    /** Wall time parallel fan-outs removed from the critical path
+     *  (Σ over fan-outs of chunk-sum minus chunk-max). */
+    std::uint64_t parallelSavedNs = 0;
+
+    /** Fan-outs stitched through flow ids. */
+    std::size_t fanOuts = 0;
+
+    /** Chunk spans that carried a flow id with no matching start
+     *  (counted, still attributed as roots). */
+    std::size_t orphanChunks = 0;
+};
+
+/** Compute self-time + critical-path attribution. */
+Attribution computeAttribution(const SpanForest &forest);
+
+/** A config × workload heatmap lifted from a bench envelope. */
+struct Heatmap
+{
+    std::string title;
+    std::string source; ///< bench name it came from
+    std::vector<std::string> rowLabels;
+    std::vector<std::string> colLabels;
+
+    /** values[row][col]; rows × cols rectangular. */
+    std::vector<std::vector<double>> values;
+};
+
+/**
+ * Collect every envelope's results.heatmap object
+ * ({"title", "rows": [...], "cols": [...], "values": [[...], ...]}).
+ * Malformed heatmaps throw ReportError.
+ */
+std::vector<Heatmap> extractHeatmaps(
+    const std::vector<BenchEnvelope> &benches);
+
+/** Cluster-quality row joined across fig2/fig3 family keys. */
+struct ClusterQualityRow
+{
+    std::string family;
+
+    /** NaN when the producing bench was not in the input set. */
+    double meanErrorPct;
+    double meanEfficiencyPct;
+    double outlierPct;
+    double clusters;
+};
+
+/**
+ * Join `family_<algo>_{mean_error_pct, mean_efficiency_pct,
+ * outlier_pct, clusters}` keys across all envelopes into one row per
+ * clustering family. Missing facets stay NaN.
+ */
+std::vector<ClusterQualityRow> extractClusterQuality(
+    const std::vector<BenchEnvelope> &benches);
+
+} // namespace report
+} // namespace gws
+
+#endif // GWS_REPORT_ANALYSIS_HH

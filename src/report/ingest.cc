@@ -1,0 +1,490 @@
+#include "report/ingest.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <dirent.h>
+#include <unordered_map>
+
+#include "obs/metrics_text.hh"
+
+namespace gws {
+namespace report {
+
+namespace {
+
+/** A JSON number coerced to u64 (rejects negatives and non-finite). */
+std::uint64_t
+asUint(const JsonValue &v, const char *what)
+{
+    const double d = v.number();
+    if (!std::isfinite(d) || d < 0)
+        throw ReportError(std::string("report: ") + what +
+                          " must be a non-negative number");
+    return static_cast<std::uint64_t>(d);
+}
+
+/** Microseconds (trace-file unit) to integral nanoseconds. */
+std::uint64_t
+usToNs(double us)
+{
+    if (!std::isfinite(us) || us < 0)
+        return 0;
+    return static_cast<std::uint64_t>(std::llround(us * 1000.0));
+}
+
+} // namespace
+
+std::size_t
+TraceData::countPhase(char phase) const
+{
+    std::size_t n = 0;
+    for (const TraceSpan &ev : events)
+        if (ev.phase == phase)
+            ++n;
+    return n;
+}
+
+TraceData
+readPerfettoTraceText(const std::string &text)
+{
+    const JsonValue root = parseJson(text);
+    const JsonValue &events = root.at("traceEvents");
+    if (!events.isArray())
+        throw ReportError("report: traceEvents must be an array");
+
+    TraceData out;
+    out.events.reserve(events.array().size());
+    for (const JsonValue &ev : events.array()) {
+        if (!ev.isObject())
+            throw ReportError("report: trace event must be an object");
+        const std::string &ph = ev.at("ph").string();
+        if (ph.size() != 1)
+            throw ReportError("report: trace event ph must be a "
+                              "single character, got \"" + ph + "\"");
+
+        TraceSpan span;
+        span.phase = ph[0];
+        span.name = ev.at("name").string();
+        span.tid = static_cast<std::uint32_t>(
+            asUint(ev.at("tid"), "trace event tid"));
+        span.startNs = usToNs(ev.at("ts").number());
+        switch (span.phase) {
+          case 'X':
+            span.durationNs = usToNs(ev.at("dur").number());
+            break;
+          case 's':
+          case 'f':
+            span.flowId = asUint(ev.at("id"), "trace flow id");
+            break;
+          case 'i':
+            if (const JsonValue *args = ev.find("args"))
+                if (const JsonValue *detail = args->find("detail"))
+                    span.detail = detail->string();
+            break;
+          default:
+            // Foreign phases (metadata, counters, ...) pass through
+            // untyped so traces merged with other tools still load.
+            break;
+        }
+        out.events.push_back(std::move(span));
+    }
+
+    // The tracer writes a chunk span as an "X" record plus a
+    // companion "f" flow-finish record with identical name/tid/ts;
+    // fold the flow id back onto the span so the analysis passes see
+    // chunks directly (an "f" with no twin is left as-is).
+    std::unordered_map<std::string, std::vector<std::size_t>> spansAt;
+    auto spanKey = [](const TraceSpan &ev) {
+        return ev.name + '\0' + std::to_string(ev.tid) + '\0' +
+               std::to_string(ev.startNs);
+    };
+    for (std::size_t i = 0; i < out.events.size(); ++i)
+        if (out.events[i].phase == 'X')
+            spansAt[spanKey(out.events[i])].push_back(i);
+    for (const TraceSpan &ev : out.events) {
+        if (ev.phase != 'f')
+            continue;
+        auto it = spansAt.find(spanKey(ev));
+        if (it == spansAt.end())
+            continue;
+        for (std::size_t idx : it->second) {
+            if (out.events[idx].flowId == 0) {
+                out.events[idx].flowId = ev.flowId;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+TraceData
+readPerfettoTraceFile(const std::string &path)
+{
+    try {
+        return readPerfettoTraceText(readFileBounded(path));
+    } catch (const ReportError &e) {
+        throw ReportError(path + ": " + e.what(), e.byteOffset());
+    }
+}
+
+const MetricRow *
+MetricsData::find(const std::string &name) const
+{
+    const std::string mapped = obs::prometheusName(name);
+    for (const MetricRow &row : rows)
+        if (row.name == name || row.name == mapped)
+            return &row;
+    return nullptr;
+}
+
+std::vector<const MetricRow *>
+MetricsData::withPrefix(const std::string &prefix) const
+{
+    const std::string mapped = obs::prometheusName(prefix);
+    std::vector<const MetricRow *> out;
+    for (const MetricRow &row : rows)
+        if (row.name.compare(0, prefix.size(), prefix) == 0 ||
+            row.name.compare(0, mapped.size(), mapped) == 0)
+            out.push_back(&row);
+    return out;
+}
+
+MetricsData
+readMetricsJsonText(const std::string &text)
+{
+    const JsonValue root = parseJson(text);
+    const std::string &schema = root.at("schema").string();
+    if (schema != "gws.metrics.v1")
+        throw ReportError("report: unsupported metrics schema \"" +
+                          schema + "\"");
+
+    MetricsData out;
+    for (const JsonValue &m : root.at("metrics").array()) {
+        MetricRow row;
+        row.name = m.at("name").string();
+        row.type = m.at("type").string();
+        if (row.type == "counter" || row.type == "gauge") {
+            row.value = m.at("value").number();
+        } else if (row.type == "info") {
+            row.info = m.at("value").string();
+        } else if (row.type == "histogram") {
+            row.count = asUint(m.at("count"), "histogram count");
+            row.sum = m.at("sum").number();
+            if (const JsonValue *q = m.find("p50"))
+                row.p50 = q->number();
+            if (const JsonValue *q = m.find("p95"))
+                row.p95 = q->number();
+            if (const JsonValue *q = m.find("p99"))
+                row.p99 = q->number();
+            for (const JsonValue &b : m.at("buckets").array()) {
+                MetricRow::Bucket bucket;
+                bucket.lo = asUint(b.at("lo"), "bucket lo");
+                bucket.hi = asUint(b.at("hi"), "bucket hi");
+                bucket.count = asUint(b.at("count"), "bucket count");
+                row.buckets.push_back(bucket);
+            }
+        } else {
+            throw ReportError("report: unknown metric type \"" +
+                              row.type + "\" for " + row.name);
+        }
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+namespace {
+
+/** One Prometheus sample line, split into parts. */
+struct PromSample
+{
+    std::string name;
+    std::string labels; // raw text between the braces, may be empty
+    double value = 0.0;
+};
+
+bool
+parsePromLine(const std::string &line, PromSample &out,
+              std::size_t lineNo)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t'))
+        ++i;
+    if (i >= line.size() || line[i] == '#')
+        return false; // blank or comment
+
+    const std::size_t nameStart = i;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ' &&
+           line[i] != '\t')
+        ++i;
+    out.name = line.substr(nameStart, i - nameStart);
+    if (out.name.empty())
+        throw ReportError("report: prometheus line " +
+                          std::to_string(lineNo) +
+                          ": missing metric name");
+
+    out.labels.clear();
+    if (i < line.size() && line[i] == '{') {
+        const std::size_t close = line.find('}', i);
+        if (close == std::string::npos)
+            throw ReportError("report: prometheus line " +
+                              std::to_string(lineNo) +
+                              ": unterminated label set");
+        out.labels = line.substr(i + 1, close - i - 1);
+        i = close + 1;
+    }
+
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+        ++i;
+    if (i >= line.size())
+        throw ReportError("report: prometheus line " +
+                          std::to_string(lineNo) + ": missing value");
+    errno = 0;
+    char *end = nullptr;
+    out.value = std::strtod(line.c_str() + i, &end);
+    if (end == line.c_str() + i)
+        throw ReportError("report: prometheus line " +
+                          std::to_string(lineNo) +
+                          ": unparseable value");
+    return true;
+}
+
+/** The value of label `key` within a raw label-set string, or "". */
+std::string
+promLabel(const std::string &labels, const std::string &key)
+{
+    const std::string needle = key + "=\"";
+    const std::size_t at = labels.find(needle);
+    if (at == std::string::npos)
+        return "";
+    std::string out;
+    std::size_t i = at + needle.size();
+    while (i < labels.size() && labels[i] != '"') {
+        if (labels[i] == '\\' && i + 1 < labels.size()) {
+            ++i;
+            out.push_back(labels[i] == 'n' ? '\n' : labels[i]);
+        } else {
+            out.push_back(labels[i]);
+        }
+        ++i;
+    }
+    return out;
+}
+
+bool
+stripSuffix(std::string &name, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    if (name.size() <= n ||
+        name.compare(name.size() - n, n, suffix) != 0)
+        return false;
+    name.resize(name.size() - n);
+    return true;
+}
+
+} // namespace
+
+MetricsData
+readMetricsPrometheusText(const std::string &text)
+{
+    MetricsData out;
+    // Rows index by base name as they are discovered; the exporter
+    // writes each histogram's _bucket series before its _sum/_count/
+    // _p* samples, so attaching suffixes to the existing row works.
+    auto rowFor = [&out](const std::string &base,
+                         const char *type) -> MetricRow & {
+        for (MetricRow &row : out.rows)
+            if (row.name == base)
+                return row;
+        MetricRow row;
+        row.name = base;
+        row.type = type;
+        out.rows.push_back(std::move(row));
+        return out.rows.back();
+    };
+    auto histogramFor =
+        [&out](const std::string &base) -> MetricRow * {
+        for (MetricRow &row : out.rows)
+            if (row.name == base && row.type == "histogram")
+                return &row;
+        return nullptr;
+    };
+
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        const std::string line =
+            text.substr(pos, nl == std::string::npos ? std::string::npos
+                                                     : nl - pos);
+        pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+        ++lineNo;
+
+        PromSample s;
+        if (!parsePromLine(line, s, lineNo))
+            continue;
+
+        std::string base = s.name;
+        if (stripSuffix(base, "_bucket")) {
+            const std::string le = promLabel(s.labels, "le");
+            MetricRow &row = rowFor(base, "histogram");
+            if (le != "+Inf") {
+                MetricRow::Bucket b;
+                errno = 0;
+                b.hi = std::strtoull(le.c_str(), nullptr, 10);
+                // Cumulative on the wire; de-cumulated below.
+                b.count = static_cast<std::uint64_t>(s.value);
+                b.lo = row.buckets.empty()
+                           ? 0
+                           : row.buckets.back().hi + 1;
+                row.buckets.push_back(b);
+            }
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_sum") && histogramFor(base)) {
+            histogramFor(base)->sum = s.value;
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_count") && histogramFor(base)) {
+            histogramFor(base)->count =
+                static_cast<std::uint64_t>(s.value);
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_p50") && histogramFor(base)) {
+            histogramFor(base)->p50 = s.value;
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_p95") && histogramFor(base)) {
+            histogramFor(base)->p95 = s.value;
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_p99") && histogramFor(base)) {
+            histogramFor(base)->p99 = s.value;
+            continue;
+        }
+        base = s.name;
+        if (stripSuffix(base, "_total")) {
+            MetricRow &row = rowFor(base, "counter");
+            row.value = s.value;
+            continue;
+        }
+        const std::string info = promLabel(s.labels, "value");
+        if (!info.empty()) {
+            MetricRow &row = rowFor(s.name, "info");
+            row.info = info;
+            continue;
+        }
+        MetricRow &row = rowFor(s.name, "gauge");
+        row.value = s.value;
+    }
+
+    // Wire buckets are cumulative; the model's are not.
+    for (MetricRow &row : out.rows) {
+        if (row.type != "histogram")
+            continue;
+        std::uint64_t prev = 0;
+        for (MetricRow::Bucket &b : row.buckets) {
+            const std::uint64_t cum = b.count;
+            b.count = cum >= prev ? cum - prev : 0;
+            prev = cum;
+        }
+    }
+    return out;
+}
+
+MetricsData
+readMetricsText(const std::string &text)
+{
+    for (char c : text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            continue;
+        return c == '{' ? readMetricsJsonText(text)
+                        : readMetricsPrometheusText(text);
+    }
+    throw ReportError("report: empty metrics input");
+}
+
+MetricsData
+readMetricsFile(const std::string &path)
+{
+    try {
+        return readMetricsText(readFileBounded(path));
+    } catch (const ReportError &e) {
+        throw ReportError(path + ": " + e.what(), e.byteOffset());
+    }
+}
+
+BenchEnvelope
+readBenchEnvelopeText(const std::string &text, const std::string &path)
+{
+    const JsonValue root = parseJson(text);
+    const std::string &schema = root.at("schema").string();
+    if (schema != "gws.bench.v1")
+        throw ReportError("report: unsupported bench schema \"" +
+                          schema + "\"");
+
+    BenchEnvelope env;
+    env.path = path;
+    env.bench = root.at("bench").string();
+    env.git = root.at("git").string();
+    env.threads = asUint(root.at("threads"), "bench threads");
+    env.wallMs = root.at("wall_ms").number();
+    env.peakRssBytes =
+        asUint(root.at("peak_rss_bytes"), "bench peak_rss_bytes");
+    env.results = root.at("results");
+    if (!env.results.isObject())
+        throw ReportError("report: bench results must be an object");
+    return env;
+}
+
+BenchEnvelope
+readBenchEnvelopeFile(const std::string &path)
+{
+    try {
+        return readBenchEnvelopeText(readFileBounded(path), path);
+    } catch (const ReportError &e) {
+        throw ReportError(path + ": " + e.what(), e.byteOffset());
+    }
+}
+
+std::vector<BenchEnvelope>
+loadBenchDir(const std::string &dir)
+{
+    DIR *dp = ::opendir(dir.c_str());
+    if (dp == nullptr)
+        throw ReportError("report: cannot open bench directory " +
+                          dir);
+    std::vector<std::string> names;
+    while (struct dirent *de = ::readdir(dp)) {
+        const std::string name = de->d_name;
+        if (name.size() > 11 &&
+            name.compare(0, 6, "BENCH_") == 0 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(name);
+    }
+    ::closedir(dp);
+    std::sort(names.begin(), names.end());
+
+    std::vector<BenchEnvelope> out;
+    for (const std::string &name : names) {
+        const std::string path = dir + "/" + name;
+        try {
+            out.push_back(readBenchEnvelopeFile(path));
+        } catch (const ReportError &e) {
+            // One bad artifact should not sink the whole report.
+            std::fprintf(stderr, "gws_report: skipping %s: %s\n",
+                         path.c_str(), e.what());
+        }
+    }
+    return out;
+}
+
+} // namespace report
+} // namespace gws

@@ -1,0 +1,429 @@
+#include "report/json.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gws {
+namespace report {
+
+namespace {
+
+/** Whole-input bound, matching the framed codecs' payload cap. */
+constexpr std::size_t jsonInputCap = std::size_t{1} << 30;
+
+/** Nesting bound: deeper documents are bombs, not data. */
+constexpr std::size_t jsonDepthCap = 96;
+
+} // namespace
+
+const char *
+JsonValue::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return "bool";
+      case Kind::Number:
+        return "number";
+      case Kind::String:
+        return "string";
+      case Kind::Array:
+        return "array";
+      case Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+namespace {
+
+[[noreturn]] void
+kindMismatch(JsonValue::Kind want, JsonValue::Kind got)
+{
+    throw ReportError(std::string("json: expected a ") +
+                      JsonValue::kindName(want) + ", found a " +
+                      JsonValue::kindName(got));
+}
+
+} // namespace
+
+bool
+JsonValue::boolean() const
+{
+    if (tag != Kind::Bool)
+        kindMismatch(Kind::Bool, tag);
+    return boolValue;
+}
+
+double
+JsonValue::number() const
+{
+    if (tag != Kind::Number)
+        kindMismatch(Kind::Number, tag);
+    return numberValue;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    if (tag != Kind::String)
+        kindMismatch(Kind::String, tag);
+    return stringValue;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    if (tag != Kind::Array)
+        kindMismatch(Kind::Array, tag);
+    return arrayValues;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (tag != Kind::Object)
+        kindMismatch(Kind::Object, tag);
+    return objectMembers;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members())
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        throw ReportError("json: missing member \"" + key + "\"");
+    return *v;
+}
+
+/** Recursive-descent parser over the whole input string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        if (s.size() > jsonInputCap)
+            throw ReportError("json: input exceeds the 1 GiB cap (" +
+                              std::to_string(s.size()) + " bytes)");
+        JsonValue root = value(0);
+        skipWs();
+        if (i != s.size())
+            fail("trailing bytes after the root value");
+        return root;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw ReportError("json: " + what,
+                          static_cast<std::int64_t>(i));
+    }
+
+    void
+    skipWs()
+    {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t' ||
+                                s[i] == '\n' || s[i] == '\r'))
+            ++i;
+    }
+
+    char
+    peek() const
+    {
+        return i < s.size() ? s[i] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        if (i >= s.size() || s[i] != c)
+            fail(std::string("expected '") + c + "'");
+        ++i;
+    }
+
+    void
+    literal(const char *word, std::size_t n)
+    {
+        if (s.compare(i, n, word) != 0)
+            fail(std::string("bad literal (wanted \"") + word +
+                 "\")");
+        i += n;
+    }
+
+    JsonValue
+    value(std::size_t depth)
+    {
+        if (depth > jsonDepthCap)
+            fail("nesting exceeds " + std::to_string(jsonDepthCap) +
+                 " levels");
+        skipWs();
+        if (i >= s.size())
+            fail("unexpected end of input");
+        JsonValue v;
+        switch (s[i]) {
+          case '{':
+            return object(depth);
+          case '[':
+            return array(depth);
+          case '"':
+            v.tag = JsonValue::Kind::String;
+            v.stringValue = string();
+            return v;
+          case 't':
+            literal("true", 4);
+            v.tag = JsonValue::Kind::Bool;
+            v.boolValue = true;
+            return v;
+          case 'f':
+            literal("false", 5);
+            v.tag = JsonValue::Kind::Bool;
+            v.boolValue = false;
+            return v;
+          case 'n':
+            literal("null", 4);
+            return v;
+          default:
+            v.tag = JsonValue::Kind::Number;
+            v.numberValue = number();
+            return v;
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (i >= s.size())
+                fail("unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(s[i]);
+            if (c == '"') {
+                ++i;
+                return out;
+            }
+            if (c < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(s[i]);
+                ++i;
+                continue;
+            }
+            ++i; // backslash
+            if (i >= s.size())
+                fail("truncated escape");
+            const char esc = s[i];
+            ++i;
+            switch (esc) {
+              case '"':
+                out.push_back('"');
+                break;
+              case '\\':
+                out.push_back('\\');
+                break;
+              case '/':
+                out.push_back('/');
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                if (i + 4 > s.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int h = 0; h < 4; ++h) {
+                    const char d = s[i + static_cast<std::size_t>(h)];
+                    code <<= 4;
+                    if (d >= '0' && d <= '9')
+                        code |= static_cast<unsigned>(d - '0');
+                    else if (d >= 'a' && d <= 'f')
+                        code |= static_cast<unsigned>(d - 'a' + 10);
+                    else if (d >= 'A' && d <= 'F')
+                        code |= static_cast<unsigned>(d - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                i += 4;
+                // UTF-8-encode the code point; surrogate pairs are
+                // passed through as two 3-byte sequences (the report
+                // only ever round-trips ASCII-escaped exporter
+                // output, so fidelity beyond that is not required).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    double
+    number()
+    {
+        const std::size_t start = i;
+        if (peek() == '-')
+            ++i;
+        if (i >= s.size() ||
+            !(s[i] >= '0' && s[i] <= '9'))
+            fail("malformed number");
+        if (s[i] == '0')
+            ++i; // no leading zeros
+        else
+            while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+                ++i;
+        if (i < s.size() && s[i] == '.') {
+            ++i;
+            if (i >= s.size() || !(s[i] >= '0' && s[i] <= '9'))
+                fail("malformed fraction");
+            while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+                ++i;
+        }
+        if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+                ++i;
+            if (i >= s.size() || !(s[i] >= '0' && s[i] <= '9'))
+                fail("malformed exponent");
+            while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+                ++i;
+        }
+        const std::string token = s.substr(start, i - start);
+        errno = 0;
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("unparseable number");
+        return v;
+    }
+
+    JsonValue
+    object(std::size_t depth)
+    {
+        expect('{');
+        JsonValue v;
+        v.tag = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++i;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            v.objectMembers.emplace_back(std::move(key),
+                                         value(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++i;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    array(std::size_t depth)
+    {
+        expect('[');
+        JsonValue v;
+        v.tag = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++i;
+            return v;
+        }
+        while (true) {
+            v.arrayValues.push_back(value(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++i;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    const std::string &s;
+    std::size_t i = 0;
+};
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+std::string
+readFileBounded(const std::string &path)
+{
+    FILE *fp = std::fopen(path.c_str(), "rb");
+    if (fp == nullptr)
+        throw ReportError("report: cannot open " + path + ": " +
+                          std::strerror(errno));
+    std::string out;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) {
+        if (out.size() + n > jsonInputCap) {
+            std::fclose(fp);
+            throw ReportError("report: " + path +
+                              " exceeds the 1 GiB input cap");
+        }
+        out.append(buf, n);
+    }
+    const bool failed = std::ferror(fp) != 0;
+    std::fclose(fp);
+    if (failed)
+        throw ReportError("report: read error on " + path);
+    return out;
+}
+
+} // namespace report
+} // namespace gws

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Strict JSON reader for the report pipeline.
+ *
+ * The obs layer emits hand-rolled JSON (Perfetto traces,
+ * gws.metrics.v1, gws.bench.v1); the report tool reads those files
+ * back — possibly truncated, possibly from another machine, possibly
+ * corrupted — so the parser applies the same input-boundary
+ * discipline as the binary codecs (util/codec.hh): every failure is a
+ * typed ReportError with the byte offset of the offending character,
+ * never UB, an unbounded allocation, or a silently-wrong value.
+ * Strictness knobs: RFC 8259 grammar, a nesting-depth cap (a
+ * "[[[[..." bomb fails fast instead of overflowing the stack), a
+ * total-input cap shared with the framed codecs' spirit (1 GiB), and
+ * whole-input consumption (trailing bytes after the root value are an
+ * error).
+ *
+ * The DOM is a plain tagged struct, not std::variant, so accessors
+ * can carry path context in their error messages.
+ */
+
+#ifndef GWS_REPORT_JSON_HH
+#define GWS_REPORT_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/error.hh"
+
+namespace gws {
+namespace report {
+
+/** Typed failure of the report input boundary (files, JSON, schema). */
+class ReportError : public IoError
+{
+  public:
+    using IoError::IoError;
+};
+
+/** A parsed JSON value (object members keep document order). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** The value's kind tag. */
+    Kind kind() const { return tag; }
+
+    bool isNull() const { return tag == Kind::Null; }
+    bool isObject() const { return tag == Kind::Object; }
+    bool isArray() const { return tag == Kind::Array; }
+    bool isString() const { return tag == Kind::String; }
+    bool isNumber() const { return tag == Kind::Number; }
+    bool isBool() const { return tag == Kind::Bool; }
+
+    /** The boolean payload; throws ReportError on a kind mismatch. */
+    bool boolean() const;
+
+    /** The numeric payload; throws ReportError on a kind mismatch. */
+    double number() const;
+
+    /** The string payload; throws ReportError on a kind mismatch. */
+    const std::string &string() const;
+
+    /** Array elements; throws ReportError on a kind mismatch. */
+    const std::vector<JsonValue> &array() const;
+
+    /** Object members in document order; throws on a kind mismatch. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** First member named `key`, or nullptr (objects only; throws on
+     *  a kind mismatch). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member `key`; throws ReportError when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Printable kind name ("object", "number", ...). */
+    static const char *kindName(Kind kind);
+
+  private:
+    friend class JsonParser;
+
+    Kind tag = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    std::vector<JsonValue> arrayValues;
+    std::vector<std::pair<std::string, JsonValue>> objectMembers;
+};
+
+/**
+ * Parse one JSON document. Throws ReportError (with a byte offset)
+ * on grammar violations, inputs past the 1 GiB cap, nesting beyond
+ * 96 levels, or trailing non-whitespace after the root value.
+ */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Slurp a file, bounded by the parser's 1 GiB input cap. Throws
+ * ReportError when the file cannot be opened or read.
+ */
+std::string readFileBounded(const std::string &path);
+
+} // namespace report
+} // namespace gws
+
+#endif // GWS_REPORT_JSON_HH

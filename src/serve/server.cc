@@ -665,6 +665,15 @@ std::string
 Server::handleScrape(const std::string &payload)
 {
     const MetricsScrapeMsg msg = decodeMetricsScrape(payload);
+    // Scrape metadata, refreshed per request so every snapshot a
+    // dashboard polls carries fresh uptime and the producing build.
+    obs::metricsRegistry()
+        .gauge("gws.serve.uptime_seconds")
+        .set(static_cast<double>(runtime_detail::nowNs() -
+                                 startedAtNs) *
+             1e-9);
+    obs::metricsRegistry().setInfo("gws.serve.build_info",
+                                   GWS_GIT_DESCRIBE);
     MetricsReplyMsg reply;
     if (msg.format == MetricsFormat::PrometheusText)
         reply.text = obs::metricsPrometheusText();

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -558,6 +560,128 @@ TEST(MetricsText, HistogramRowsAreCumulativeWithInf)
               std::string::npos);
     EXPECT_NE(text.find("gws_test_lat_sum 700"), std::string::npos);
     EXPECT_NE(text.find("gws_test_lat_count 3"), std::string::npos);
+}
+
+// ------------------------------------------- histogram percentiles --
+
+TEST(MetricsQuantile, EstimateLandsWithinOneBucketOfExact)
+{
+    obs::metricsRegistry().resetPrefix("test.quant.");
+    obs::Histogram &h =
+        obs::metricsRegistry().histogram("test.quant.lat");
+
+    // Deterministic values spanning several octaves, skewed the way
+    // latency samples are: mostly small, with a heavy tail.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    std::vector<std::uint64_t> raw;
+    for (int i = 0; i < 4096; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        const std::uint64_t v = (state % 1000) * (state % 97) + 1;
+        raw.push_back(v);
+        h.record(v);
+    }
+    std::sort(raw.begin(), raw.end());
+
+    const auto rows =
+        obs::metricsRegistry().snapshotPrefix("test.quant.");
+    ASSERT_EQ(rows.size(), 1u);
+    ASSERT_EQ(rows[0].histCount, raw.size());
+
+    for (double q : {0.50, 0.95, 0.99}) {
+        // Exact nearest-rank percentile of the raw samples.
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(raw.size())));
+        if (rank > 0)
+            --rank;
+        const std::uint64_t exact = raw[rank];
+
+        const double est = obs::snapshotQuantile(rows[0], q);
+        const auto estBucket = obs::Histogram::bucketIndex(
+            static_cast<std::uint64_t>(std::llround(est)));
+        const auto exactBucket = obs::Histogram::bucketIndex(exact);
+        const std::size_t gap = estBucket > exactBucket
+                                    ? estBucket - exactBucket
+                                    : exactBucket - estBucket;
+        EXPECT_LE(gap, 1u)
+            << "q=" << q << " exact=" << exact << " est=" << est;
+    }
+
+    // The exporters surface the same estimates as first-class rows.
+    const std::string prom = obs::metricsPrometheusText(rows);
+    EXPECT_NE(prom.find("test_quant_lat_p50 "), std::string::npos);
+    EXPECT_NE(prom.find("test_quant_lat_p95 "), std::string::npos);
+    EXPECT_NE(prom.find("test_quant_lat_p99 "), std::string::npos);
+
+    const std::string json = obs::metricsRegistry().toJson();
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_TRUE(JsonValidator(json).valid());
+
+    obs::metricsRegistry().resetPrefix("test.quant.");
+}
+
+// ------------------------------------------------------ info metrics --
+
+TEST(MetricsInfo, ExportsInJsonAndPrometheus)
+{
+    obs::metricsRegistry().setInfo("test_info.build",
+                                   "v1.2 \"dirty\"");
+
+    const auto rows =
+        obs::metricsRegistry().snapshotPrefix("test_info.");
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].type, obs::MetricType::Info);
+    EXPECT_EQ(rows[0].infoValue, "v1.2 \"dirty\"");
+
+    const std::string json = obs::metricsRegistry().toJson();
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"type\": \"info\""), std::string::npos);
+
+    const std::string prom = obs::metricsPrometheusText(rows);
+    EXPECT_NE(prom.find("# TYPE test_info_build gauge"),
+              std::string::npos);
+    // The annotation rides in a `value` label, quotes escaped.
+    EXPECT_NE(prom.find("test_info_build{value=\"v1.2 "
+                        "\\\"dirty\\\"\"} 1"),
+              std::string::npos)
+        << prom;
+}
+
+// ------------------------------------------------- trace ring buffer --
+
+TEST_F(ObsTest, TraceCapRingKeepsNewestAndCountsDrops)
+{
+    const std::size_t savedCap = obs::traceCapPerThread();
+    obs::metricsRegistry().resetPrefix("gws.trace.");
+    obs::setTraceCapPerThread(4);
+
+    obs::traceBegin();
+    for (int i = 0; i < 10; ++i) {
+        obs::SpanScope span("cap.span." + std::to_string(i));
+    }
+    obs::traceEnd();
+
+    std::vector<std::string> kept;
+    for (const auto &ev : obs::traceSnapshot())
+        if (ev.name.rfind("cap.span.", 0) == 0)
+            kept.push_back(ev.name);
+
+    ASSERT_EQ(kept.size(), 4u);
+    // The ring keeps the newest spans, unwound oldest-first.
+    EXPECT_EQ(kept[0], "cap.span.6");
+    EXPECT_EQ(kept[1], "cap.span.7");
+    EXPECT_EQ(kept[2], "cap.span.8");
+    EXPECT_EQ(kept[3], "cap.span.9");
+    EXPECT_EQ(obs::metricsRegistry()
+                  .counter("gws.trace.dropped_spans")
+                  .value(),
+              6u);
+
+    obs::setTraceCapPerThread(savedCap);
+    obs::metricsRegistry().resetPrefix("gws.trace.");
 }
 
 } // namespace

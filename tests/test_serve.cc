@@ -21,6 +21,7 @@
 
 #include "core/subset_io.hh"
 #include "core/subset_pipeline.hh"
+#include "report/ingest.hh"
 #include "runtime/runtime.hh"
 #include "serve/client.hh"
 #include "serve/online_cluster.hh"
@@ -479,6 +480,35 @@ TEST(OnlineCluster, LeaderAssignmentAndRefinement)
     ASSERT_EQ(assign.size(), 24u);
     for (std::size_t i = 2; i < assign.size(); ++i)
         EXPECT_EQ(assign[i], assign[i % 2]);
+}
+
+TEST(Server, ScrapeExportsUptimeAndBuildInfo)
+{
+    ServerFixture fx;
+    ServeClient c = fx.client();
+
+    const std::string json = c.scrapeMetrics(MetricsFormat::Json);
+    const report::MetricsData data =
+        report::readMetricsJsonText(json);
+
+    const report::MetricRow *up =
+        data.find("gws.serve.uptime_seconds");
+    ASSERT_NE(up, nullptr);
+    EXPECT_EQ(up->type, "gauge");
+    EXPECT_GE(up->value, 0.0);
+
+    const report::MetricRow *build =
+        data.find("gws.serve.build_info");
+    ASSERT_NE(build, nullptr);
+    EXPECT_EQ(build->type, "info");
+    EXPECT_FALSE(build->info.empty());
+
+    const std::string prom =
+        c.scrapeMetrics(MetricsFormat::PrometheusText);
+    EXPECT_NE(prom.find("gws_serve_uptime_seconds "),
+              std::string::npos);
+    EXPECT_NE(prom.find("gws_serve_build_info{value=\""),
+              std::string::npos);
 }
 
 } // namespace
