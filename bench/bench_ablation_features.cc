@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Feature-ablation study: which feature dimensions earn their keep?
+ * Re-runs the corpus prediction experiment with each feature dimension
+ * zeroed out (leave-one-out) and with the PCA-whitened space on/off,
+ * reporting the per-feature impact on prediction error — overall and
+ * per workload genre, as a feature x genre heatmap the gws_report
+ * dashboard renders. A feature whose removal barely moves the error
+ * is redundant for the genres it scores near zero on; a large positive
+ * delta marks a feature the subsetting contract depends on.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/predictor.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+namespace {
+
+int
+run(int argc, char **argv)
+{
+    using namespace gws;
+
+    ArgParser args("bench_ablation_features",
+                   "leave-one-feature-out + PCA on/off prediction-"
+                   "error ablation");
+    addScaleOption(args);
+    addThreadsOption(args);
+    args.addDouble("radius", 0.95, "leader clustering radius");
+    args.addDouble("pca-frac", 0.98,
+                   "variance fraction of the PCA-on configuration");
+    if (!args.parse(argc, argv))
+        return 0;
+    const BenchContext ctx = makeBenchContext(args);
+    banner("FA", "feature ablation: per-feature error impact",
+           ctx.scale);
+
+    const double radius = args.getDouble("radius");
+    const double pca_frac = args.getDouble("pca-frac");
+    const GpuSimulator sim(makeGpuPreset("baseline"));
+
+    // Genre of each suite trace, and the genre axis in
+    // first-appearance order (the heatmap's columns).
+    const std::vector<GameProfile> profiles = builtinSuite(ctx.scale);
+    GWS_ASSERT(profiles.size() == ctx.suite.size(), "suite mismatch");
+    std::vector<std::string> genres;
+    std::vector<std::size_t> genre_of(profiles.size(), 0);
+    for (std::size_t g = 0; g < profiles.size(); ++g) {
+        std::size_t gi = 0;
+        while (gi < genres.size() && genres[gi] != profiles[g].genre)
+            ++gi;
+        if (gi == genres.size())
+            genres.push_back(profiles[g].genre);
+        genre_of[g] = gi;
+    }
+
+    // One corpus pass under a feature-space configuration: overall and
+    // per-genre mean prediction error. The draw-cost simulations hit
+    // the process-global work memo after the first pass, so the sweep
+    // cost is dominated by clustering, not simulation.
+    struct PassResult
+    {
+        CorpusPredictionReport overall;
+        std::vector<CorpusPredictionReport> perGenre;
+    };
+    auto evaluate = [&](const FeatureSpaceConfig &fs) {
+        PassResult res;
+        res.perGenre.resize(genres.size());
+        DrawSubsetConfig cfg;
+        cfg.leader.radius = radius;
+        cfg.features = fs;
+        for (const auto &cf : ctx.corpus) {
+            const Trace &t = ctx.suite[cf.traceIndex];
+            const FramePredictionReport r = evaluateFramePrediction(
+                t, t.frame(cf.frameIndex), sim, cfg);
+            accumulate(res.overall, r);
+            accumulate(res.perGenre[genre_of[cf.traceIndex]], r);
+        }
+        return res;
+    };
+
+    FeatureSpaceConfig baseline_fs;
+    baseline_fs.path = FeaturePath::Naive;
+    const PassResult baseline = evaluate(baseline_fs);
+
+    FeatureSpaceConfig pca_fs;
+    pca_fs.path = FeaturePath::Pca;
+    pca_fs.pcaVariance = pca_frac;
+    const PassResult pca = evaluate(pca_fs);
+
+    // Leave-one-out sweep: one pass per dropped dimension.
+    std::vector<PassResult> dropped;
+    dropped.reserve(numFeatureDims);
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        FeatureSpaceConfig fs;
+        fs.path = FeaturePath::Naive;
+        fs.dropDim = d;
+        dropped.push_back(evaluate(fs));
+    }
+
+    // The heatmap: rows are the 15 dimensions plus the PCA-on config,
+    // columns the genres, cells the mean-error delta vs the naive
+    // baseline in percentage points (positive = removal hurts).
+    std::vector<std::string> row_names;
+    std::vector<std::vector<double>> deltas;
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        row_names.push_back(
+            std::string("drop ") +
+            toString(static_cast<FeatureDim>(d)));
+        std::vector<double> row;
+        for (std::size_t gi = 0; gi < genres.size(); ++gi)
+            row.push_back((dropped[d].perGenre[gi].meanError -
+                           baseline.perGenre[gi].meanError) *
+                          100.0);
+        deltas.push_back(std::move(row));
+    }
+    {
+        row_names.push_back("pca on");
+        std::vector<double> row;
+        for (std::size_t gi = 0; gi < genres.size(); ++gi)
+            row.push_back((pca.perGenre[gi].meanError -
+                           baseline.perGenre[gi].meanError) *
+                          100.0);
+        deltas.push_back(std::move(row));
+    }
+
+    Table table({"config", "mean err %", "delta pp", "efficiency %"});
+    auto add_row = [&](const std::string &name, const PassResult &r) {
+        table.newRow();
+        table.cell(name);
+        table.cellPercent(r.overall.meanError, 2);
+        table.cell((r.overall.meanError - baseline.overall.meanError) *
+                       100.0,
+                   3);
+        table.cellPercent(r.overall.meanEfficiency, 1);
+    };
+    add_row("baseline", baseline);
+    add_row("pca on", pca);
+    for (std::size_t d = 0; d < numFeatureDims; ++d)
+        add_row(row_names[d], dropped[d]);
+    std::fputs(table.renderAscii().c_str(), stdout);
+
+    std::printf("\nbaseline: %.2f%% error @ %.1f%% efficiency; "
+                "pca(%.2f): %.2f%% error @ %.1f%% efficiency\n",
+                baseline.overall.meanError * 100.0,
+                baseline.overall.meanEfficiency * 100.0, pca_frac,
+                pca.overall.meanError * 100.0,
+                pca.overall.meanEfficiency * 100.0);
+
+    BenchJsonWriter json("ablation_features");
+    json.setString("scale", toString(ctx.scale));
+    json.setUint("frames", baseline.overall.frames);
+    json.setUint("features", numFeatureDims);
+    json.setUint("genres", genres.size());
+    json.setDouble("pca_variance_fraction", pca_frac);
+    json.setDouble("baseline_mean_error_pct",
+                   baseline.overall.meanError * 100.0);
+    json.setDouble("baseline_mean_efficiency_pct",
+                   baseline.overall.meanEfficiency * 100.0);
+    json.setDouble("pca_mean_error_pct",
+                   pca.overall.meanError * 100.0);
+    json.setDouble("pca_mean_efficiency_pct",
+                   pca.overall.meanEfficiency * 100.0);
+    for (std::size_t d = 0; d < numFeatureDims; ++d) {
+        json.setDouble(
+            std::string("drop_") +
+                toString(static_cast<FeatureDim>(d)) + "_delta_pct",
+            (dropped[d].overall.meanError -
+             baseline.overall.meanError) *
+                100.0);
+    }
+
+    // The feature x genre error-delta matrix in the shared
+    // results.heatmap shape gws_report renders.
+    std::string hm = "{\"title\": \"prediction-error delta vs "
+                     "baseline (pp) by dropped feature and genre\", "
+                     "\"rows\": [";
+    for (std::size_t r = 0; r < row_names.size(); ++r)
+        hm += (r ? ", \"" : "\"") + obs::jsonEscape(row_names[r]) +
+              "\"";
+    hm += "], \"cols\": [";
+    for (std::size_t gi = 0; gi < genres.size(); ++gi)
+        hm += (gi ? ", \"" : "\"") + obs::jsonEscape(genres[gi]) +
+              "\"";
+    hm += "], \"values\": [";
+    for (std::size_t r = 0; r < deltas.size(); ++r) {
+        hm += r ? ", [" : "[";
+        for (std::size_t c = 0; c < deltas[r].size(); ++c)
+            hm += (c ? ", " : "") + formatDouble(deltas[r][c], 4);
+        hm += "]";
+    }
+    hm += "]}";
+    json.setRaw("heatmap", hm);
+    json.write();
+
+    reportRuntime(args);
+    return 0;
+}
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return gws::runGuardedMain(run, argc, argv);
+}

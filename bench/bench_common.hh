@@ -25,6 +25,7 @@
 #include <utility>
 #include <vector>
 
+#include "features/pca.hh"
 #include "gpusim/streaming_work_trace.hh"
 #include "obs/obs.hh"
 #include "partition/shards.hh"
@@ -48,7 +49,7 @@ struct BenchContext
     /** The selected scale. */
     SuiteScale scale = SuiteScale::Ci;
 
-    /** Playthrough traces of the six built-in games. */
+    /** Playthrough traces of the built-in game suite. */
     std::vector<Trace> suite;
 
     /** The sampled characterization corpus. */
@@ -110,6 +111,10 @@ addThreadsOption(ArgParser &args)
                    "shard-balancing cost function: balanced, "
                    "critical_path, greedy, or minmax (default from "
                    "GWS_PARTITION)");
+    args.addString("pca", "",
+                   "cluster in the PCA-whitened feature space keeping "
+                   "this cumulative-variance fraction in (0, 1]; "
+                   "'off' forces the raw space (default from GWS_PCA)");
 }
 
 /**
@@ -153,6 +158,24 @@ applyThreadsOption(const ArgParser &args)
             GWS_FATAL("--partition-cost wants balanced / critical_path "
                       "/ greedy / minmax, got '", partition_cost, "'");
         setDefaultPartitionCostFn(fn);
+    }
+
+    const std::string pca = args.getString("pca");
+    if (!pca.empty()) {
+        FeatureSpaceConfig fs;
+        if (pca == "off" || pca == "0") {
+            fs.path = FeaturePath::Naive;
+        } else {
+            char *end = nullptr;
+            const double frac = std::strtod(pca.c_str(), &end);
+            if (end == pca.c_str() || *end != '\0' || !(frac > 0.0) ||
+                frac > 1.0)
+                GWS_FATAL("--pca wants a variance fraction in (0, 1] "
+                          "or 'off', got '", pca, "'");
+            fs.path = FeaturePath::Pca;
+            fs.pcaVariance = frac;
+        }
+        setDefaultFeatureSpace(fs);
     }
 }
 

@@ -35,6 +35,21 @@ run(int argc, char **argv)
     const double threshold = args.getDouble("threshold");
     const GpuSimulator sim(makeGpuPreset("baseline"));
 
+    // Genre of each suite trace, genre axis in first-appearance order.
+    const std::vector<GameProfile> profiles = builtinSuite(ctx.scale);
+    std::vector<std::string> genres;
+    std::vector<std::size_t> genre_of(profiles.size(), 0);
+    for (std::size_t g = 0; g < profiles.size(); ++g) {
+        std::size_t gi = 0;
+        while (gi < genres.size() && genres[gi] != profiles[g].genre)
+            ++gi;
+        if (gi == genres.size())
+            genres.push_back(profiles[g].genre);
+        genre_of[g] = gi;
+    }
+    std::vector<std::uint64_t> genre_clusters(genres.size(), 0);
+    std::vector<std::uint64_t> genre_outliers(genres.size(), 0);
+
     Table table({"game", "clusters", "outliers", "outlier %",
                  "intra err p50 %", "intra err p95 %"});
     std::uint64_t total_clusters = 0, total_outliers = 0;
@@ -70,8 +85,31 @@ run(int argc, char **argv)
         table.cellPercent(percentile(intra, 95.0), 1);
         total_clusters += clusters;
         total_outliers += outliers;
+        genre_clusters[genre_of[g]] += clusters;
+        genre_outliers[genre_of[g]] += outliers;
     }
     std::fputs(table.renderAscii().c_str(), stdout);
+
+    // Per-genre outlier contract (paper baseline: ~3 % on corridor
+    // shooters; <= 5 % counts as holding at the wider genre set).
+    Table genre_table({"genre", "clusters", "outliers", "outlier %",
+                       "contract (<=5%)"});
+    for (std::size_t gi = 0; gi < genres.size(); ++gi) {
+        const double pct =
+            genre_clusters[gi]
+                ? static_cast<double>(genre_outliers[gi]) /
+                      static_cast<double>(genre_clusters[gi])
+                : 0.0;
+        genre_table.newRow();
+        genre_table.cell(genres[gi]);
+        genre_table.cell(genre_clusters[gi]);
+        genre_table.cell(genre_outliers[gi]);
+        genre_table.cellPercent(pct, 2);
+        genre_table.cell(
+            std::string(pct <= 0.05 ? "meets" : "breaks"));
+    }
+    std::printf("\ncluster-outlier contract per genre:\n");
+    std::fputs(genre_table.renderAscii().c_str(), stdout);
 
     std::printf("\nmeasured: %.2f%% outlier clusters"
                 "   [paper: 3.0%% on average]\n",
@@ -138,6 +176,17 @@ run(int argc, char **argv)
                 ? 100.0 * static_cast<double>(fam_outliers[f]) /
                       static_cast<double>(fam_clusters[f])
                 : 0.0);
+    }
+    for (std::size_t gi = 0; gi < genres.size(); ++gi) {
+        const std::string key = std::string("genre_") + genres[gi];
+        const double pct =
+            genre_clusters[gi]
+                ? static_cast<double>(genre_outliers[gi]) /
+                      static_cast<double>(genre_clusters[gi])
+                : 0.0;
+        json.setUint(key + "_clusters", genre_clusters[gi]);
+        json.setDouble(key + "_outlier_pct", pct * 100.0);
+        json.setBool(key + "_contract", pct <= 0.05);
     }
     json.write();
 

@@ -42,7 +42,11 @@ buildFrameSubset(const Trace &trace, const Frame &frame,
     const FeatureExtractor extractor(trace);
     const auto raw = extractor.extractFrame(frame);
     const Normalizer norm = Normalizer::fit(raw);
-    const auto points = norm.applyAll(raw);
+    // The projection (identity on the naive path) is fitted serially
+    // per frame, so the clustered space is bit-reproducible across
+    // thread counts.
+    const auto points = projectFeatures(norm.applyAll(raw),
+                                        config.features);
 
     FrameSubset out;
     switch (config.algo) {

@@ -15,6 +15,7 @@
 #include "cluster/kselect.hh"
 #include "cluster/leader.hh"
 #include "cluster/quality.hh"
+#include "features/pca.hh"
 #include "trace/trace.hh"
 
 namespace gws {
@@ -58,6 +59,14 @@ struct DrawSubsetConfig
 
     /** How member costs are predicted from representatives. */
     PredictionMode prediction = PredictionMode::Uniform;
+
+    /**
+     * Feature space the clustering runs in: raw normalized features
+     * or the PCA-projected space (Auto resolves --pca / GWS_PCA with
+     * GWS_NAIVE_FEATURES as the escape hatch). Every algorithm above
+     * clusters the same projected points.
+     */
+    FeatureSpaceConfig features;
 };
 
 /** Per-frame subsetting result. */

@@ -72,8 +72,16 @@ Normalizer::fit(const std::vector<FeatureVector> &sample)
     const double count = static_cast<double>(sample.size());
     for (std::size_t d = 0; d < numFeatureDims; ++d) {
         double sum = 0.0;
-        for (const auto &v : sample)
-            sum += v.at(d);
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+            const double x = sample[s].at(d);
+            if (!std::isfinite(x))
+                throw FeatureError(
+                    "non-finite feature value " + std::to_string(x) +
+                    " in dimension '" +
+                    toString(static_cast<FeatureDim>(d)) +
+                    "' of sample " + std::to_string(s));
+            sum += x;
+        }
         n.means[d] = sum / count;
         double var = 0.0;
         for (const auto &v : sample) {

@@ -13,8 +13,21 @@
 
 #include "features/feature_vector.hh"
 #include "trace/trace.hh"
+#include "util/error.hh"
 
 namespace gws {
+
+/**
+ * Typed failure of the feature pipeline: a non-finite feature value
+ * (NaN/inf from a degenerate draw) reached Normalizer::fit, where it
+ * would silently poison every mean, stddev and downstream distance.
+ * Derives from IoError so runGuardedMain turns it into a clean exit.
+ */
+class FeatureError : public IoError
+{
+  public:
+    using IoError::IoError;
+};
 
 /** Extracts feature vectors from draws of one trace. */
 class FeatureExtractor
@@ -41,7 +54,12 @@ class FeatureExtractor
 class Normalizer
 {
   public:
-    /** Fit mean/stddev per dimension; requires at least one sample. */
+    /**
+     * Fit mean/stddev per dimension; requires at least one sample.
+     * Throws FeatureError if any input feature is non-finite — a NaN
+     * or inf here would otherwise propagate into every normalized
+     * vector and make clustering distances meaningless.
+     */
     static Normalizer fit(const std::vector<FeatureVector> &sample);
 
     /** Normalized copy of one vector. */

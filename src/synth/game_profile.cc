@@ -50,6 +50,26 @@ GameProfile::validate() const
     GWS_ASSERT(blendFraction >= 0.0 && blendFraction <= 1.0,
                "blend fraction out of [0,1]");
     GWS_ASSERT(rtWidth >= 64 && rtHeight >= 64, "render target too small");
+    GWS_ASSERT(streamedDrawShare >= 0.0 && streamedDrawShare < 1.0,
+               "streamed draw share out of [0,1)");
+    GWS_ASSERT(streamedMaterialsPerSegment == 0 ||
+                   (streamedPixelShadersPerSegment >= 1 &&
+                    streamedTexturesPerSegment >= 1 &&
+                    streamedDrawShare > 0.0),
+               "streaming needs shaders, textures and a draw share");
+    GWS_ASSERT(frameLoadSigma >= 0.0, "frame load sigma negative");
+    GWS_ASSERT(burstFrameFraction >= 0.0 && burstFrameFraction <= 1.0,
+               "burst fraction out of [0,1]");
+    GWS_ASSERT(burstLoadMultiplier >= 1.0, "burst multiplier < 1");
+    GWS_ASSERT(computeMaterialFraction >= 0.0 &&
+                   computeMaterialFraction <= 1.0,
+               "compute fraction out of [0,1]");
+    GWS_ASSERT(computeMaterialFraction == 0.0 ||
+                   computeShadersPerLevel >= 1,
+               "compute passes need a compute shader pool");
+    GWS_ASSERT(concurrentUsers >= 1, "need at least one user");
+    GWS_ASSERT(userIdleProbability >= 0.0 && userIdleProbability <= 1.0,
+               "idle probability out of [0,1]");
 }
 
 namespace {
@@ -71,6 +91,13 @@ scaled(GameProfile p, SuiteScale scale, double paper_dpf,
         p.texturesPerLevel *= 3;
         p.pixelShadersPerLevel += p.pixelShadersPerLevel / 2;
         p.hudMaterials += 4;
+        // Genre pools grow with the same factors as the static pools
+        // (all no-ops for the legacy games, whose knobs are 0).
+        p.streamedMaterialsPerSegment *= 4;
+        p.streamedPixelShadersPerSegment +=
+            p.streamedPixelShadersPerSegment / 2;
+        p.streamedTexturesPerSegment *= 3;
+        p.computeShadersPerLevel += p.computeShadersPerLevel / 2;
     }
     p.validate();
     return p;
@@ -144,6 +171,7 @@ builtinProfile(const std::string &name, SuiteScale scale)
     }
     if (name == "frontier") {
         // Open-world: few distinct biomes, many draws, long segments.
+        p.genre = "openworld";
         p.seed = 0xf4011713;
         p.levels = 3;
         p.segments = 8;
@@ -161,6 +189,7 @@ builtinProfile(const std::string &name, SuiteScale scale)
     }
     if (name == "vanguard") {
         // Sci-fi arena shooter: mid-size pools, lots of effects.
+        p.genre = "arena";
         p.seed = 0x7a267a2d;
         p.levels = 4;
         p.segments = 9;
@@ -178,6 +207,7 @@ builtinProfile(const std::string &name, SuiteScale scale)
     if (name == "circuit") {
         // Racer: high overdraw (foliage, fences), repetitive track
         // sections, strong frame-to-frame coherence.
+        p.genre = "racing";
         p.seed = 0xc12c0171;
         p.levels = 3;
         p.segments = 8;
@@ -193,15 +223,107 @@ builtinProfile(const std::string &name, SuiteScale scale)
         p.effectMaterialFraction = 0.03;
         return scaled(p, scale, 1112.0, 370);
     }
+    if (name == "nomad") {
+        // Open-world streaming: content streams into the resident
+        // pool every segment, so the shader pool grows without bound
+        // over the playthrough. Exact shader-vector phase recurrence
+        // breaks by design; fuzzy (Jaccard) matching still finds the
+        // level revisits underneath.
+        p.genre = "streaming";
+        p.seed = 0x401ad001;
+        p.levels = 3;
+        p.segments = 12;
+        p.segmentFramesMin = 9;
+        p.segmentFramesMax = 18;
+        p.materialsPerLevel = 40;
+        p.pixelShadersPerLevel = 17;
+        p.vertexShadersPerLevel = 5;
+        p.texturesPerLevel = 48;
+        p.drawsPerFrame = 125.0;
+        p.blendFraction = 0.18;
+        p.effectMaterialFraction = 0.03;
+        p.streamedMaterialsPerSegment = 6;
+        p.streamedPixelShadersPerSegment = 2;
+        p.streamedTexturesPerSegment = 4;
+        p.streamedDrawShare = 0.25;
+        return scaled(p, scale, 1350.0, 430);
+    }
+    if (name == "skylink") {
+        // Cloud-gaming capture: a per-frame load multiplier models
+        // variable-framerate encode deadlines, with occasional
+        // congestion bursts — frame cost variance far above any
+        // locally-rendered game.
+        p.genre = "cloudgaming";
+        p.seed = 0x5c1e0a0d;
+        p.levels = 4;
+        p.segments = 10;
+        p.segmentFramesMin = 9;
+        p.segmentFramesMax = 18;
+        p.materialsPerLevel = 38;
+        p.pixelShadersPerLevel = 14;
+        p.vertexShadersPerLevel = 4;
+        p.texturesPerLevel = 44;
+        p.drawsPerFrame = 105.0;
+        p.blendFraction = 0.20;
+        p.effectMaterialFraction = 0.04;
+        p.frameLoadSigma = 0.35;
+        p.burstFrameFraction = 0.08;
+        p.burstLoadMultiplier = 2.2;
+        return scaled(p, scale, 980.0, 330);
+    }
+    if (name == "tensor") {
+        // Compute/dispatch-heavy ML-style passes: nearly half the
+        // scene materials are dispatch proxies (ALU/MADD-dense
+        // shaders, 3 vertices, huge pixel counts, no blend/depth).
+        p.genre = "compute";
+        p.seed = 0x7e450001;
+        p.levels = 3;
+        p.segments = 8;
+        p.segmentFramesMin = 9;
+        p.segmentFramesMax = 18;
+        p.materialsPerLevel = 36;
+        p.pixelShadersPerLevel = 10;
+        p.vertexShadersPerLevel = 3;
+        p.texturesPerLevel = 36;
+        p.drawsPerFrame = 115.0;
+        p.medianPixelsPerDraw = 2800.0;
+        p.blendFraction = 0.12;
+        p.effectMaterialFraction = 0.02;
+        p.computeMaterialFraction = 0.45;
+        p.computeShadersPerLevel = 6;
+        return scaled(p, scale, 1200.0, 360);
+    }
+    if (name == "legion") {
+        // Bursty multi-user mix: two user streams composited per
+        // frame, each viewing its own level, secondaries idling at
+        // random — frames blend the material pools of several levels.
+        p.genre = "multiuser";
+        p.seed = 0x1e610001;
+        p.levels = 4;
+        p.segments = 9;
+        p.segmentFramesMin = 10;
+        p.segmentFramesMax = 20;
+        p.materialsPerLevel = 36;
+        p.pixelShadersPerLevel = 13;
+        p.vertexShadersPerLevel = 4;
+        p.texturesPerLevel = 40;
+        p.drawsPerFrame = 120.0;
+        p.blendFraction = 0.22;
+        p.effectMaterialFraction = 0.04;
+        p.concurrentUsers = 2;
+        p.userIdleProbability = 0.35;
+        return scaled(p, scale, 1240.0, 380);
+    }
     GWS_FATAL("unknown built-in game '", name, "' (have: shock1, shock2, "
-              "shockinf, frontier, vanguard, circuit)");
+              "shockinf, frontier, vanguard, circuit, nomad, skylink, "
+              "tensor, legion)");
 }
 
 std::vector<std::string>
 builtinGameNames()
 {
     return {"shock1", "shock2", "shockinf", "frontier", "vanguard",
-            "circuit"};
+            "circuit", "nomad", "skylink", "tensor", "legion"};
 }
 
 } // namespace gws

@@ -41,6 +41,14 @@ struct GameProfile
     /** Game name, e.g. "shock1". */
     std::string name = "game";
 
+    /**
+     * Workload genre tag, used by the benches to aggregate the
+     * subset-quality contract per genre: "corridor", "openworld",
+     * "arena", "racing", "streaming", "cloudgaming", "compute" or
+     * "multiuser".
+     */
+    std::string genre = "corridor";
+
     /** Master seed; every stream derives from it. */
     std::uint64_t seed = 1;
 
@@ -96,6 +104,58 @@ struct GameProfile
     /** Fraction of materials with blending enabled. */
     double blendFraction = 0.18;
 
+    // --- genre mechanics (all default off: legacy games unchanged) --------
+    /**
+     * Streaming genre: materials streamed into the resident pool per
+     * playthrough segment. Unlike the static level pools, streamed
+     * content accumulates — the shader pool grows without bound over
+     * the playthrough, which deliberately breaks exact shader-vector
+     * phase recurrence. 0 disables streaming.
+     */
+    std::uint32_t streamedMaterialsPerSegment = 0;
+
+    /** Streaming: new pixel shaders per streamed segment. */
+    std::uint32_t streamedPixelShadersPerSegment = 0;
+
+    /** Streaming: new textures per streamed segment. */
+    std::uint32_t streamedTexturesPerSegment = 0;
+
+    /** Streaming: share of the scene draw budget streamed content takes. */
+    double streamedDrawShare = 0.0;
+
+    /**
+     * Cloud-gaming genre: log-normal sigma of a per-frame load
+     * multiplier, modeling variable-framerate capture where encode
+     * deadlines modulate how much of the scene gets drawn. 0 disables.
+     */
+    double frameLoadSigma = 0.0;
+
+    /** Cloud gaming: probability a frame is a congestion burst. */
+    double burstFrameFraction = 0.0;
+
+    /** Cloud gaming: load multiplier applied to burst frames. */
+    double burstLoadMultiplier = 1.0;
+
+    /**
+     * Compute genre: fraction of scene materials that are
+     * dispatch-style passes (ALU/MADD-heavy shaders, a handful of
+     * vertices, huge pixel counts, no blending or depth). 0 disables.
+     */
+    double computeMaterialFraction = 0.0;
+
+    /** Compute: dedicated compute-mix pixel shaders per level pool. */
+    std::uint32_t computeShadersPerLevel = 0;
+
+    /**
+     * Multi-user genre: concurrent user streams composited into each
+     * frame, each user viewing a (generally different) level. 1 =
+     * single player.
+     */
+    std::uint32_t concurrentUsers = 1;
+
+    /** Multi-user: probability a secondary user idles a given frame. */
+    double userIdleProbability = 0.0;
+
     // --- output surface ---------------------------------------------------
     /** Render-target width. */
     std::uint32_t rtWidth = 1920;
@@ -108,9 +168,11 @@ struct GameProfile
 };
 
 /**
- * The built-in six-game suite: three BioShock-series analogues
- * (shock1, shock2, shockinf) plus three genre-diversity games
- * (frontier, vanguard, circuit), at the requested scale.
+ * The built-in ten-game suite: three BioShock-series analogues
+ * (shock1, shock2, shockinf), three genre-diversity games (frontier,
+ * vanguard, circuit), and four stress genres (nomad: open-world
+ * streaming, skylink: cloud-gaming capture, tensor: compute/dispatch
+ * passes, legion: bursty multi-user mixes), at the requested scale.
  */
 std::vector<GameProfile> builtinSuite(SuiteScale scale);
 

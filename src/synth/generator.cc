@@ -78,6 +78,25 @@ makeVertexMix(Rng &rng)
     return m;
 }
 
+/**
+ * Synthesize a compute/dispatch-style "pixel" shader mix: ALU/MADD
+ * dense, at most one texture (buffer) read, no interpolation — the
+ * instruction profile of an ML-style pass run through the raster
+ * pipe as a full-screen dispatch.
+ */
+InstructionMix
+makeComputeMix(Rng &rng)
+{
+    InstructionMix m;
+    m.aluOps = static_cast<std::uint32_t>(rng.uniformInt(48, 160));
+    m.maddOps = static_cast<std::uint32_t>(rng.uniformInt(64, 200));
+    m.specialOps = static_cast<std::uint32_t>(rng.uniformInt(0, 4));
+    m.texOps = static_cast<std::uint32_t>(rng.uniformInt(0, 1));
+    m.interpOps = 0;
+    m.controlOps = static_cast<std::uint32_t>(rng.uniformInt(2, 10));
+    return m;
+}
+
 /** Visibility modulation of a material at a playthrough frame. */
 double
 visibility(const Material &m, std::uint64_t frame)
@@ -201,6 +220,17 @@ GameGenerator::generate() const
                 "ps_l" + std::to_string(li) + "_" + std::to_string(i),
                 makePixelMix(rng)));
         }
+        // Compute genre: a dedicated dispatch-shader pool and its own
+        // RNG stream (fork, so the legacy streams above never shift).
+        Rng compute_rng = content_rng.fork(3000 + li);
+        std::vector<ShaderId> compute_pool;
+        for (std::uint32_t i = 0; i < prof.computeShadersPerLevel; ++i) {
+            compute_pool.push_back(trace.shaders().add(
+                ShaderStage::Pixel,
+                "ps_comp_l" + std::to_string(li) + "_" +
+                    std::to_string(i),
+                makeComputeMix(compute_rng)));
+        }
         std::vector<TextureId> tex_pool;
         for (std::uint32_t i = 0; i < prof.texturesPerLevel; ++i) {
             const std::uint32_t dim = 128u << rng.uniformInt(1, 4);
@@ -234,10 +264,17 @@ GameGenerator::generate() const
             weights.push_back(rng.logNormal(0.0, 0.5));
         const double weight_sum =
             std::accumulate(weights.begin(), weights.end(), 0.0);
-        // Scene draw budget: total minus sky and HUD.
+        // Scene draw budget: total minus sky and HUD, minus the share
+        // streamed content takes, spread over the expected number of
+        // active users. Both factors are exactly 1.0 for the legacy
+        // games, so their budgets are bit-identical.
+        const double active_users =
+            1.0 + static_cast<double>(prof.concurrentUsers - 1) *
+                      (1.0 - prof.userIdleProbability);
         const double scene_rate =
             std::max(1.0, prof.drawsPerFrame - 1.0 -
-                              static_cast<double>(prof.hudMaterials));
+                              static_cast<double>(prof.hudMaterials)) *
+            (1.0 - prof.streamedDrawShare) / active_users;
 
         for (std::uint32_t mi = 0; mi < prof.materialsPerLevel; ++mi) {
             Material m;
@@ -275,7 +312,100 @@ GameGenerator::generate() const
             m.drawRate = scene_rate * weights[mi] / weight_sum;
             m.visPhase = rng.uniform(0.0, 2.0 * M_PI);
             m.visFreq = rng.uniform(0.002, 0.02);
+
+            // Compute genre: rewrite a fraction of materials into
+            // dispatch proxies — 3 vertices, a huge pixel grid, dense
+            // arithmetic, no blend or depth. Decisions come from the
+            // forked compute stream, and the short-circuit keeps it
+            // untouched for every other genre.
+            if (prof.computeMaterialFraction > 0.0 &&
+                compute_rng.bernoulli(prof.computeMaterialFraction)) {
+                m.ps = compute_pool[compute_rng.index(
+                    compute_pool.size())];
+                m.topology = PrimitiveTopology::TriangleList;
+                m.strideBytes = 16;
+                m.instanceCount = 1;
+                m.medianVerts = 3.0;
+                m.vertSigma = 0.0;
+                m.medianPixels = prof.medianPixelsPerDraw *
+                                 compute_rng.uniform(24.0, 96.0);
+                m.pixelSigma = 0.05;
+                m.overdraw = 1.0;
+                m.texLocality = 0.97;
+                m.effect = false;
+                m.blend = false;
+                m.depthTest = false;
+                m.depthWrite = false;
+            }
             level.materials.push_back(m);
+        }
+    }
+
+    // ---- streamed content (streaming genre only) -----------------------
+    // Each playthrough segment streams an asset pack — new shaders,
+    // textures and materials — into the resident pool, which only ever
+    // grows: the trace's shader population is unbounded in segment
+    // count, unlike the fixed per-level pools above. Every pack draws
+    // from its own content fork, so legacy streams never shift.
+    std::vector<std::vector<Material>> streamed(prof.segments);
+    const double stream_budget =
+        std::max(1.0, prof.drawsPerFrame - 1.0 -
+                          static_cast<double>(prof.hudMaterials)) *
+        prof.streamedDrawShare;
+    if (prof.streamedMaterialsPerSegment > 0) {
+        for (std::uint32_t seg = 0; seg < prof.segments; ++seg) {
+            Rng rng = content_rng.fork(2000 + seg);
+            const ShaderId svs = trace.shaders().add(
+                ShaderStage::Vertex,
+                "vs_stream_s" + std::to_string(seg),
+                makeVertexMix(rng));
+            std::vector<ShaderId> sps;
+            for (std::uint32_t i = 0;
+                 i < prof.streamedPixelShadersPerSegment; ++i) {
+                sps.push_back(trace.shaders().add(
+                    ShaderStage::Pixel,
+                    "ps_stream_s" + std::to_string(seg) + "_" +
+                        std::to_string(i),
+                    makePixelMix(rng)));
+            }
+            std::vector<TextureId> stex;
+            for (std::uint32_t i = 0;
+                 i < prof.streamedTexturesPerSegment; ++i) {
+                const std::uint32_t dim = 128u << rng.uniformInt(1, 4);
+                stex.push_back(trace.addTexture(
+                    TextureDesc{dim, dim,
+                                rng.bernoulli(0.2) ? 8u : 4u, true}));
+            }
+            for (std::uint32_t mi = 0;
+                 mi < prof.streamedMaterialsPerSegment; ++mi) {
+                Material m;
+                m.id = next_material_id++;
+                m.vs = svs;
+                m.ps = sps[rng.index(sps.size())];
+                const std::size_t n_tex =
+                    static_cast<std::size_t>(rng.uniformInt(1, 3));
+                for (std::size_t t = 0; t < n_tex; ++t)
+                    m.textures.push_back(
+                        stex[rng.index(stex.size())]);
+                m.strideBytes = static_cast<std::uint32_t>(
+                                    rng.uniformInt(6, 12)) *
+                                4;
+                m.medianPixels = prof.medianPixelsPerDraw *
+                                 rng.logNormal(0.0, 0.9);
+                m.medianVerts = prof.medianVertsPerDraw *
+                                rng.logNormal(0.0, 0.8);
+                m.pixelSigma = prof.pixelSigma;
+                m.vertSigma = prof.vertSigma;
+                m.overdraw =
+                    std::clamp(1.0 + rng.exponential(2.5), 1.0, 4.0);
+                m.texLocality = rng.uniform(0.7, 0.95);
+                m.blend = rng.bernoulli(prof.blendFraction);
+                m.depthWrite = !m.blend;
+                m.drawRate = 1.0; // set per frame from the pack count
+                m.visPhase = rng.uniform(0.0, 2.0 * M_PI);
+                m.visFreq = rng.uniform(0.002, 0.02);
+                streamed[seg].push_back(m);
+            }
         }
     }
 
@@ -335,18 +465,70 @@ GameGenerator::generate() const
                                 static_cast<double>(global_frame) /
                                 97.0));
 
+            // Cloud-gaming genre: a per-frame load multiplier models
+            // variable-framerate capture (encode deadlines modulate
+            // how much of the scene is drawn) plus rare congestion
+            // bursts. Legacy games take neither branch, so their
+            // frame streams consume no extra draws.
+            double load = 1.0;
+            if (prof.frameLoadSigma > 0.0)
+                load *= rng.logNormal(0.0, prof.frameLoadSigma);
+            if (prof.burstFrameFraction > 0.0 &&
+                rng.bernoulli(prof.burstFrameFraction))
+                load *= prof.burstLoadMultiplier;
+
             // Scene (sky first, then materials in table order — the
             // state-sorted submission order a real engine produces).
-            for (const Material &m : level.materials) {
-                const double rate =
-                    m.drawRate * visibility(m, global_frame);
-                std::uint64_t n =
-                    &m == &level.materials.front()
-                        ? 1
-                        : rng.poisson(rate);
-                for (std::uint64_t k = 0; k < n; ++k)
-                    emit_draw(frame, m, rng, zoom);
+            // A material's draw count is Poisson in rate x visibility
+            // x load; multiplying by load == 1.0 is exact, keeping
+            // legacy frames bit-identical.
+            auto emit_level = [&](const Level &lv) {
+                for (const Material &m : lv.materials) {
+                    const double rate =
+                        m.drawRate * visibility(m, global_frame) * load;
+                    std::uint64_t n =
+                        &m == &lv.materials.front()
+                            ? 1
+                            : rng.poisson(rate);
+                    for (std::uint64_t k = 0; k < n; ++k)
+                        emit_draw(frame, m, rng, zoom);
+                }
+            };
+            if (prof.concurrentUsers == 1) {
+                emit_level(level);
+            } else {
+                // Multi-user genre: composite every active user's
+                // view; user u looks at its own level, secondaries
+                // idle at random, so frames mix material pools.
+                for (std::uint32_t u = 0; u < prof.concurrentUsers;
+                     ++u) {
+                    if (u > 0 && prof.userIdleProbability > 0.0 &&
+                        rng.bernoulli(prof.userIdleProbability))
+                        continue;
+                    emit_level(levels[(schedule[seg] + u) %
+                                      prof.levels]);
+                }
             }
+
+            // Streamed packs: everything streamed up to the current
+            // segment is resident; the stream budget spreads over the
+            // whole resident set, so old packs fade but never vanish.
+            if (prof.streamedMaterialsPerSegment > 0) {
+                const double resident = static_cast<double>(
+                    (seg + 1) * prof.streamedMaterialsPerSegment);
+                const double per_material = stream_budget / resident;
+                for (std::size_t s2 = 0; s2 <= seg; ++s2) {
+                    for (const Material &m : streamed[s2]) {
+                        const double rate =
+                            per_material *
+                            visibility(m, global_frame) * load;
+                        const std::uint64_t n = rng.poisson(rate);
+                        for (std::uint64_t k = 0; k < n; ++k)
+                            emit_draw(frame, m, rng, zoom);
+                    }
+                }
+            }
+
             // HUD overlay last.
             for (const Material &m : hud)
                 emit_draw(frame, m, rng, 1.0);

@@ -16,53 +16,103 @@ generateSuite(SuiteScale scale)
     return suite;
 }
 
+std::vector<std::uint64_t>
+corpusQuotas(const std::vector<std::uint64_t> &frame_counts,
+             std::uint64_t target_frames)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : frame_counts)
+        total += c;
+    if (total <= target_frames)
+        return frame_counts;
+
+    // Largest-remainder apportionment, with each floor capped at the
+    // trace's length so a short trace can never be asked for more
+    // frames than it has.
+    std::vector<std::uint64_t> quota(frame_counts.size(), 0);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    std::uint64_t assigned = 0;
+    for (std::size_t ti = 0; ti < frame_counts.size(); ++ti) {
+        const double exact =
+            static_cast<double>(target_frames) *
+            static_cast<double>(frame_counts[ti]) /
+            static_cast<double>(total);
+        quota[ti] = std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(exact), frame_counts[ti]);
+        assigned += quota[ti];
+        remainders.push_back(
+            {exact - static_cast<double>(
+                         static_cast<std::uint64_t>(exact)),
+             ti});
+    }
+
+    // Distribute the deficit by remainder, largest first; equal
+    // remainders fall back to trace index so the corpus is identical
+    // across toolchains (std::sort is not stable and the old
+    // remainder-only comparator left ties platform-ordered). Traces
+    // already at their frame count are skipped — their surplus lands
+    // on whoever still has headroom.
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.first != b.first)
+                      return a.first > b.first;
+                  return a.second < b.second;
+              });
+    for (const auto &r : remainders) {
+        if (assigned == target_frames)
+            break;
+        if (quota[r.second] < frame_counts[r.second]) {
+            ++quota[r.second];
+            ++assigned;
+        }
+    }
+    // A capped surplus can exceed one-frame-per-trace; sweep in index
+    // order until the target is met (total > target guarantees the
+    // headroom exists).
+    while (assigned < target_frames) {
+        bool progressed = false;
+        for (std::size_t ti = 0;
+             ti < frame_counts.size() && assigned < target_frames; ++ti) {
+            if (quota[ti] < frame_counts[ti]) {
+                ++quota[ti];
+                ++assigned;
+                progressed = true;
+            }
+        }
+        GWS_ASSERT(progressed, "quota redistribution stalled");
+    }
+    GWS_ASSERT(assigned == target_frames, "quotas must sum to target");
+    return quota;
+}
+
 std::vector<CorpusFrame>
 sampleCorpus(const std::vector<Trace> &suite, std::uint64_t target_frames)
 {
     GWS_ASSERT(target_frames >= 1, "corpus must have at least one frame");
     std::uint64_t total = 0;
-    for (const auto &t : suite)
+    std::vector<std::uint64_t> frame_counts;
+    frame_counts.reserve(suite.size());
+    for (const auto &t : suite) {
+        frame_counts.push_back(t.frameCount());
         total += t.frameCount();
+    }
     GWS_ASSERT(total > 0, "suite has no frames");
 
+    const std::vector<std::uint64_t> quota =
+        corpusQuotas(frame_counts, target_frames);
+
+    // Even stride within each trace, preserving playthrough order.
     std::vector<CorpusFrame> corpus;
-    if (total <= target_frames) {
-        for (std::size_t ti = 0; ti < suite.size(); ++ti) {
-            for (std::uint32_t fi = 0; fi < suite[ti].frameCount(); ++fi)
-                corpus.push_back({ti, fi});
-        }
-        return corpus;
-    }
-
-    // Largest-remainder apportionment of the target across traces,
-    // then an even stride within each trace.
-    std::vector<std::uint64_t> quota(suite.size(), 0);
-    std::vector<std::pair<double, std::size_t>> remainders;
-    std::uint64_t assigned = 0;
     for (std::size_t ti = 0; ti < suite.size(); ++ti) {
-        const double exact =
-            static_cast<double>(target_frames) *
-            static_cast<double>(suite[ti].frameCount()) /
-            static_cast<double>(total);
-        quota[ti] = static_cast<std::uint64_t>(exact);
-        assigned += quota[ti];
-        remainders.push_back({exact - static_cast<double>(quota[ti]), ti});
-    }
-    std::sort(remainders.begin(), remainders.end(),
-              [](const auto &a, const auto &b) { return a.first > b.first; });
-    for (std::size_t i = 0; assigned < target_frames && i < remainders.size();
-         ++i, ++assigned)
-        ++quota[remainders[i].second];
-
-    for (std::size_t ti = 0; ti < suite.size(); ++ti) {
-        const std::uint64_t n = std::min<std::uint64_t>(
-            quota[ti], suite[ti].frameCount());
-        for (std::uint64_t k = 0; k < n; ++k) {
+        for (std::uint64_t k = 0; k < quota[ti]; ++k) {
             const auto fi = static_cast<std::uint32_t>(
-                k * suite[ti].frameCount() / n);
+                k * frame_counts[ti] / quota[ti]);
             corpus.push_back({ti, fi});
         }
     }
+    GWS_ASSERT(corpus.size() ==
+                   std::min<std::uint64_t>(target_frames, total),
+               "corpus size must be exactly min(target, total)");
     return corpus;
 }
 

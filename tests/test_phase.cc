@@ -342,14 +342,31 @@ TEST(FeaturePhases, TighterRadiusNeverFewerPhases)
 TEST(PhaseDetect, EveryBuiltinGameHasPhases)
 {
     // The paper's claim for the BioShock series, extended to the whole
-    // suite: phases exist (recur) in each game.
+    // suite: phases exist (recur) in each game. The open-world
+    // streaming profile (nomad) grows its shader pool every segment,
+    // which breaks exact shader-vector recurrence by design — Jaccard
+    // matching at a relaxed threshold still finds the level revisits.
     for (const auto &name : builtinGameNames()) {
         const Trace t =
             GameGenerator(builtinProfile(name, SuiteScale::Ci)).generate();
-        const PhaseTimeline tl = detectPhases(t, PhaseConfig{});
+        PhaseConfig cfg;
+        if (name == "nomad")
+            cfg.similarityThreshold = 0.6;
+        const PhaseTimeline tl = detectPhases(t, cfg);
         EXPECT_TRUE(tl.hasRecurringPhase()) << name;
         EXPECT_GT(tl.phaseCount, 1u) << name;
     }
+}
+
+TEST(PhaseDetect, StreamedContentBreaksExactRecurrence)
+{
+    // The property the relaxed threshold above exists for: under exact
+    // shader-vector equality, nomad's ever-growing pool means no two
+    // intervals ever match.
+    const Trace t =
+        GameGenerator(builtinProfile("nomad", SuiteScale::Ci)).generate();
+    const PhaseTimeline tl = detectPhases(t, PhaseConfig{});
+    EXPECT_FALSE(tl.hasRecurringPhase());
 }
 
 } // namespace

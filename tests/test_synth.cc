@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "synth/suite.hh"
 #include "trace/trace_stats.hh"
@@ -204,16 +208,28 @@ TEST(GameGenerator, LevelsUseDisjointPixelShaderPools)
     }
 }
 
-TEST(Suite, GeneratesAllSixGames)
+TEST(Suite, GeneratesAllTenGames)
 {
     const auto suite = generateSuite(SuiteScale::Ci);
-    ASSERT_EQ(suite.size(), 6u);
+    ASSERT_EQ(suite.size(), 10u);
     const auto names = builtinGameNames();
     for (std::size_t i = 0; i < suite.size(); ++i) {
         EXPECT_EQ(suite[i].name(), names[i]);
         EXPECT_GT(suite[i].frameCount(), 0u);
         suite[i].validate();
     }
+}
+
+TEST(Suite, EveryGenreHasAGame)
+{
+    const std::vector<std::string> expect = {
+        "corridor",  "openworld",   "arena",   "racing",
+        "streaming", "cloudgaming", "compute", "multiuser"};
+    std::set<std::string> genres;
+    for (const auto &name : builtinGameNames())
+        genres.insert(builtinProfile(name, SuiteScale::Ci).genre);
+    for (const auto &g : expect)
+        EXPECT_TRUE(genres.count(g)) << g;
 }
 
 TEST(Suite, CorpusSamplingHitsTargetExactly)
@@ -258,6 +274,170 @@ TEST(Suite, CorpusDrawsArePositive)
     const auto suite = generateSuite(SuiteScale::Ci);
     const auto corpus = sampleCorpus(suite, 10);
     EXPECT_GT(corpusDraws(suite, corpus), 0u);
+}
+
+TEST(Suite, QuotasSumExactlyToTarget)
+{
+    // Regression: the old clamp dropped a trace's surplus without
+    // redistributing it, so mixed tiny/large traces undershot the
+    // target corpus size.
+    const std::vector<std::uint64_t> counts = {1000, 3, 2, 1};
+    const auto q = corpusQuotas(counts, 800);
+    ASSERT_EQ(q.size(), counts.size());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        EXPECT_LE(q[i], counts[i]) << "trace " << i;
+        sum += q[i];
+    }
+    EXPECT_EQ(sum, 800u);
+    // Largest-remainder apportionment: the single-frame trace has the
+    // biggest remainder (0.795) and is fully sampled; the others get
+    // their proportional shares.
+    const std::vector<std::uint64_t> expect = {795, 2, 2, 1};
+    EXPECT_EQ(q, expect);
+}
+
+TEST(Suite, QuotasRespectCapsWithManyTinyTraces)
+{
+    // Seven single-frame traces against one large one: every quota
+    // stays within its trace's frame count, equal remainders resolve
+    // by index, and the sum still lands exactly on the target.
+    const std::vector<std::uint64_t> counts = {1, 1, 1, 1, 1, 1, 1, 50};
+    const auto q = corpusQuotas(counts, 40);
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        EXPECT_LE(q[i], counts[i]);
+        sum += q[i];
+    }
+    EXPECT_EQ(sum, 40u);
+    // Floors give the big trace 35; the five lowest-indexed tiny
+    // traces win the remaining +1s on the remainder tie.
+    const std::vector<std::uint64_t> expect = {1, 1, 1, 1, 1, 0, 0, 35};
+    EXPECT_EQ(q, expect);
+}
+
+TEST(Suite, QuotasTieBreakOnTraceIndex)
+{
+    // Regression: equal remainders used to fall back to the sort
+    // implementation's ordering, which is platform-dependent. Equal
+    // remainders must resolve to the lowest trace index.
+    const std::vector<std::uint64_t> counts = {10, 10, 10, 10};
+    const auto q = corpusQuotas(counts, 6);
+    const std::vector<std::uint64_t> expect = {2, 2, 1, 1};
+    EXPECT_EQ(q, expect);
+}
+
+TEST(Suite, QuotasReturnAllFramesWhenTargetExceedsTotal)
+{
+    const std::vector<std::uint64_t> counts = {5, 0, 7};
+    EXPECT_EQ(corpusQuotas(counts, 100), counts);
+}
+
+TEST(Suite, CorpusSizeIsExactForEveryTarget)
+{
+    const auto suite = generateSuite(SuiteScale::Ci);
+    std::uint64_t total = 0;
+    for (const auto &t : suite)
+        total += t.frameCount();
+    for (std::uint64_t target : {1u, 2u, 7u, 71u, 72u, 73u, 255u}) {
+        const auto corpus = sampleCorpus(suite, target);
+        EXPECT_EQ(corpus.size(),
+                  std::min<std::uint64_t>(target, total))
+            << "target " << target;
+    }
+}
+
+TEST(GameGenerator, NomadShaderPoolGrowsEverySegment)
+{
+    // Open-world streaming: each segment adds streamed pixel shaders
+    // that stay resident, so the cumulative distinct-shader count
+    // rises monotonically across the playthrough instead of
+    // plateauing once every level has been visited.
+    const GameGenerator gen(builtinProfile("nomad", SuiteScale::Ci));
+    const Trace t = gen.generate();
+    const auto seg_frames = gen.segmentFrames();
+    std::set<ShaderId> seen;
+    std::vector<std::size_t> cumulative;
+    std::uint32_t frame = 0;
+    for (std::size_t seg = 0; seg < seg_frames.size(); ++seg) {
+        for (std::uint32_t f = 0; f < seg_frames[seg]; ++f, ++frame)
+            for (const auto &d : t.frame(frame).draws())
+                seen.insert(d.state.pixelShader);
+        cumulative.push_back(seen.size());
+    }
+    for (std::size_t seg = 1; seg < cumulative.size(); ++seg)
+        EXPECT_GT(cumulative[seg], cumulative[seg - 1])
+            << "segment " << seg;
+}
+
+TEST(GameGenerator, TensorEmitsDispatchStyleDraws)
+{
+    // Compute-heavy profile: dispatch proxies are full-screen-style
+    // triangles with no blending and no depth traffic.
+    const Trace t =
+        GameGenerator(builtinProfile("tensor", SuiteScale::Ci))
+            .generate();
+    std::uint64_t dispatch = 0, total = 0;
+    for (const auto &frame : t.frames()) {
+        for (const auto &d : frame.draws()) {
+            ++total;
+            if (d.vertexCount == 3 && !d.state.blendEnabled &&
+                !d.state.depthTestEnabled &&
+                !d.state.depthWriteEnabled && d.overdraw == 1.0)
+                ++dispatch;
+        }
+    }
+    EXPECT_GT(dispatch, total / 5);
+}
+
+TEST(GameGenerator, SkylinkFrameLoadVariesMoreThanCorridor)
+{
+    // Cloud-gaming capture: the per-frame load multiplier produces a
+    // draw-count coefficient of variation well above a fixed-rate
+    // corridor shooter's.
+    auto cv = [](const Trace &t) {
+        std::vector<double> n;
+        for (const auto &frame : t.frames())
+            n.push_back(static_cast<double>(frame.drawCount()));
+        double mean = 0.0;
+        for (double x : n)
+            mean += x;
+        mean /= static_cast<double>(n.size());
+        double var = 0.0;
+        for (double x : n)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(n.size());
+        return std::sqrt(var) / mean;
+    };
+    const double corridor = cv(
+        GameGenerator(builtinProfile("shock1", SuiteScale::Ci))
+            .generate());
+    const double cloud = cv(
+        GameGenerator(builtinProfile("skylink", SuiteScale::Ci))
+            .generate());
+    EXPECT_GT(cloud, corridor * 2.0);
+}
+
+TEST(GameGenerator, LegionBlendsShaderPoolsAcrossLevels)
+{
+    // Multi-user mix: two user streams view different levels, so
+    // single frames combine scene shaders that single-user games keep
+    // in disjoint per-level pools. Detect this as frames whose scene
+    // shader set exceeds one level's pool size.
+    const GameProfile p = builtinProfile("legion", SuiteScale::Ci);
+    ASSERT_GT(p.concurrentUsers, 1u);
+    const Trace t = GameGenerator(p).generate();
+    std::uint64_t mixed = 0;
+    for (const auto &frame : t.frames()) {
+        std::set<ShaderId> scene;
+        for (const auto &d : frame.draws())
+            if (d.materialId >= p.hudMaterials)
+                scene.insert(d.state.pixelShader);
+        // Sky + one level's scene pool bounds a single-user frame.
+        if (scene.size() > p.pixelShadersPerLevel + 1)
+            ++mixed;
+    }
+    EXPECT_GT(mixed, t.frameCount() / 4);
 }
 
 } // namespace

@@ -653,6 +653,31 @@ TEST(Env, StringTrimsAndFallsBack)
     EXPECT_EQ(envString("GWS_TEST_STRING", "balanced"), "balanced");
 }
 
+TEST(Env, DoubleParsesAndTrims)
+{
+    ::setenv("GWS_TEST_DOUBLE", " 0.95 ", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.95);
+    ::setenv("GWS_TEST_DOUBLE", "2", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 2.0);
+    ::unsetenv("GWS_TEST_DOUBLE");
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.5);
+}
+
+TEST(Env, DoubleRejectsGarbageAndNonFinite)
+{
+    const int before = warnCount();
+    ::setenv("GWS_TEST_DOUBLE", "lots", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.5);
+    ::setenv("GWS_TEST_DOUBLE", "0.9x", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.5);
+    ::setenv("GWS_TEST_DOUBLE", "inf", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.5);
+    ::setenv("GWS_TEST_DOUBLE", "nan", 1);
+    EXPECT_DOUBLE_EQ(envDouble("GWS_TEST_DOUBLE", 0.5), 0.5);
+    EXPECT_EQ(warnCount(), before + 4);
+    ::unsetenv("GWS_TEST_DOUBLE");
+}
+
 TEST(Env, SizeRejectsGarbageNegativeAndOverflow)
 {
     const int before = warnCount();
